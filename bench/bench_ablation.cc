@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Ablation of the content prefetcher's design decisions (the knobs
+ * DESIGN.md calls out), each measured as average speedup over the
+ * stride-only baseline:
+ *
+ *   best            — reinforced, depth 3, p0.n3, walk-bypass on
+ *   no-chaining     — depth threshold 1 (only demand-fill scans)
+ *   no-width        — p0.n0 (chain only)
+ *   no-reinforce    — chains die at the threshold (Fig. 4a)
+ *   rescan-delta-2  — Figure 4(c) rescan throttling
+ *   scan-walk-fills — page-walk fills scanned (Section 3.5 warns of
+ *                     combinational explosion on page-table lines)
+ *   scan-width      — width fills extend chains (geometric frontier)
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace cdp;
+using namespace cdpbench;
+
+int
+main(int argc, char **argv)
+{
+    SimConfig base;
+    applyEnv(base, argc, argv);
+
+    printHeader(
+        "Ablation: contribution of each CDP design decision",
+        "chaining, width, and reinforcement each contribute; "
+        "scanning page-walk or width fills causes prefetch storms",
+        base);
+
+    struct Variant
+    {
+        const char *name;
+        void (*apply)(SimConfig &);
+    } variants[] = {
+        {"best", [](SimConfig &) {}},
+        {"no-chaining", [](SimConfig &c) { c.cdp.depthThreshold = 1; }},
+        {"no-width", [](SimConfig &c) { c.cdp.nextLines = 0; }},
+        {"no-reinforce", [](SimConfig &c) { c.cdp.reinforce = false; }},
+        {"rescan-delta-2",
+         [](SimConfig &c) { c.cdp.reinforceMinDelta = 2; }},
+        {"scan-walk-fills",
+         [](SimConfig &c) { c.cdp.scanPageWalkFills = true; }},
+        {"scan-width",
+         [](SimConfig &c) { c.cdp.scanWidthFills = true; }},
+    };
+
+    // Shared stride-only baselines.
+    std::vector<RunResult> baselines;
+    for (const auto &name : benchSet()) {
+        SimConfig c = base;
+        c.workload = name;
+        c.cdp.enabled = false;
+        baselines.push_back(runSim(c));
+    }
+
+    std::printf("%-16s %12s %14s %12s\n", "variant", "avg-speedup",
+                "cdp-issued", "rescans");
+
+    for (const auto &v : variants) {
+        std::vector<double> sp;
+        std::uint64_t issued = 0, rescans = 0;
+        const auto set = benchSet();
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            SimConfig c = base;
+            c.workload = set[i];
+            v.apply(c);
+            const RunResult r = runSim(c);
+            sp.push_back(r.speedupOver(baselines[i]));
+            issued += r.mem.cdpIssued;
+            rescans += r.mem.rescans;
+        }
+        std::printf("%-16s %12s %14llu %12llu\n", v.name,
+                    pct(mean(sp)).c_str(),
+                    static_cast<unsigned long long>(issued),
+                    static_cast<unsigned long long>(rescans));
+    }
+    return 0;
+}

@@ -1,0 +1,146 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+
+namespace cdpbench
+{
+
+using namespace cdp;
+
+void
+applyEnv(SimConfig &cfg, int argc, char **argv)
+{
+    cfg.parseArgs(argc, argv); // also applies CDP_SCALE
+}
+
+bool
+fullSuite()
+{
+    const char *v = std::getenv("CDP_FULL_SUITE");
+    return v && *v && std::string(v) != "0";
+}
+
+std::vector<std::string>
+benchSet()
+{
+    if (fullSuite()) {
+        std::vector<std::string> all;
+        for (const auto &s : table2Suite())
+            all.push_back(s.name);
+        return all;
+    }
+    // A representative spread: near-resident (b2c), stream-heavy
+    // (quake), OLTP hash chains (tpcc-2), netlist chase
+    // (verilog-gate), and the Java object-graph mix (specjbb).
+    return {"b2c", "quake", "tpcc-2", "verilog-gate",
+            "specjbb-vsnet"};
+}
+
+RunResult
+runSim(const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    return sim.run();
+}
+
+RunResult
+runWhole(const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    return sim.runChunk(cfg.warmupUops + cfg.measureUops);
+}
+
+PairResult
+runPair(SimConfig cfg)
+{
+    PairResult r;
+    SimConfig off = cfg;
+    off.cdp.enabled = false;
+    r.baseline = runSim(off);
+    cfg.cdp.enabled = true;
+    r.withCdp = runSim(cfg);
+    return r;
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0) /
+           static_cast<double>(v.size());
+}
+
+void
+printHeader(const std::string &title,
+            const std::string &paper_expectation, const SimConfig &cfg)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("--------------------------------------------------------------\n");
+    std::printf("paper: %s\n", paper_expectation.c_str());
+    std::printf("%s\n", cfg.summary().c_str());
+    std::printf("suite: %s (%zu benchmarks)%s\n",
+                fullSuite() ? "full Table 2" : "representative subset",
+                benchSet().size(),
+                fullSuite() ? "" : "  [CDP_FULL_SUITE=1 for all 15]");
+    std::printf("==============================================================\n\n");
+}
+
+std::string
+pct(double ratio)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.2f%%", (ratio - 1.0) * 100.0);
+    return buf;
+}
+
+CoverageAccuracy
+adjustedCoverageAccuracy(const RunResult &cdp_run,
+                         std::uint64_t misses_without_prefetching)
+{
+    CoverageAccuracy ca;
+    const auto &m = cdp_run.mem;
+    const std::uint64_t useful_adj =
+        m.cdpUseful > m.cdpUsefulOverlap
+            ? m.cdpUseful - m.cdpUsefulOverlap
+            : 0;
+    const std::uint64_t issued_adj =
+        m.cdpIssued > m.cdpIssuedOverlap
+            ? m.cdpIssued - m.cdpIssuedOverlap
+            : 0;
+    if (misses_without_prefetching)
+        ca.coverage = static_cast<double>(useful_adj) /
+                      static_cast<double>(misses_without_prefetching);
+    if (issued_adj)
+        ca.accuracy = static_cast<double>(useful_adj) /
+                      static_cast<double>(issued_adj);
+    return ca;
+}
+
+std::uint64_t
+missesWithoutPrefetching(const SimConfig &base,
+                         const std::string &workload)
+{
+    static std::map<std::string, std::uint64_t> memo;
+    const std::string key =
+        workload + "/" + std::to_string(base.mem.l2Bytes) + "/" +
+        std::to_string(base.measureUops);
+    auto it = memo.find(key);
+    if (it != memo.end())
+        return it->second;
+
+    SimConfig cfg = base;
+    cfg.workload = workload;
+    cfg.cdp.enabled = false;
+    cfg.stride.enabled = false;
+    cfg.markov.enabled = false;
+    const RunResult r = runWhole(cfg);
+    memo[key] = r.mem.l2DemandMisses;
+    return r.mem.l2DemandMisses;
+}
+
+} // namespace cdpbench

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the experiment-reproduction benches.
+ *
+ * Every bench regenerates one table or figure from the paper. By
+ * default the benches run a representative 5-benchmark subset of the
+ * Table 2 suite at reduced uop counts so the whole harness finishes
+ * in minutes; set CDP_FULL_SUITE=1 for all 15 benchmarks and
+ * CDP_SCALE=<f> to scale run lengths.
+ */
+
+#ifndef CDP_BENCH_COMMON_HH
+#define CDP_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace cdpbench
+{
+
+/** Apply CDP_SCALE and any argv overrides to @p cfg. */
+void applyEnv(cdp::SimConfig &cfg, int argc, char **argv);
+
+/** The benchmark names to sweep (subset, or all 15 with env). */
+std::vector<std::string> benchSet();
+
+/** True when CDP_FULL_SUITE is set. */
+bool fullSuite();
+
+/** Run one simulation to completion. */
+cdp::RunResult runSim(const cdp::SimConfig &cfg);
+
+/**
+ * Run warm-up + measure as a single counted phase (no counter reset).
+ * Used by the tuning benches: coverage/accuracy are whole-run
+ * feedback metrics, and resetting at the warm-up boundary would
+ * credit measure-phase uses of warm-up-issued prefetches with no
+ * matching issue ("accuracy" above 100%).
+ */
+cdp::RunResult runWhole(const cdp::SimConfig &cfg);
+
+/**
+ * Run @p cfg with the content prefetcher disabled (the paper's
+ * stride-enhanced baseline) and enabled, same workload and seed.
+ */
+struct PairResult
+{
+    cdp::RunResult baseline;
+    cdp::RunResult withCdp;
+    double speedup() const
+    {
+        return withCdp.speedupOver(baseline);
+    }
+};
+
+PairResult runPair(cdp::SimConfig cfg);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &v);
+
+/** Print the standard bench header with the machine summary. */
+void printHeader(const std::string &title,
+                 const std::string &paper_expectation,
+                 const cdp::SimConfig &cfg);
+
+/** "12.6%"-style percentage formatting of a speedup ratio. */
+std::string pct(double ratio);
+
+/**
+ * Adjusted coverage/accuracy per Figure 7: content prefetches that
+ * the stride prefetcher also issued are subtracted from both the
+ * useful and issued counts; coverage is measured against the miss
+ * count of a no-prefetch run of the same workload.
+ */
+struct CoverageAccuracy
+{
+    double coverage = 0.0;
+    double accuracy = 0.0;
+};
+
+CoverageAccuracy
+adjustedCoverageAccuracy(const cdp::RunResult &cdp_run,
+                         std::uint64_t misses_without_prefetching);
+
+/**
+ * Misses of @p workload with every prefetcher off (the denominator
+ * of the coverage metric). Results are memoized per workload/config
+ * size within one process.
+ */
+std::uint64_t missesWithoutPrefetching(const cdp::SimConfig &base,
+                                       const std::string &workload);
+
+} // namespace cdpbench
+
+#endif // CDP_BENCH_COMMON_HH

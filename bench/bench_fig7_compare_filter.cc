@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 7: stride-adjusted prefetch coverage and accuracy across
+ * compare/filter bit combinations ("08.0" ... "12.4").
+ *
+ * The paper tunes the VAM predictor with these curves and picks
+ * 8 compare bits + 4 filter bits as the best coverage/accuracy
+ * trade-off: accuracy rises with more compare bits while coverage
+ * falls (the prefetchable range halves per added bit).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace cdp;
+using namespace cdpbench;
+
+int
+main(int argc, char **argv)
+{
+    SimConfig base;
+    applyEnv(base, argc, argv);
+
+    // The paper's swept configurations (compare.filter).
+    const std::pair<unsigned, unsigned> configs[] = {
+        {8, 0},  {8, 2},  {8, 4},  {8, 6},  {8, 8},  {9, 0},  {9, 1},
+        {9, 3},  {9, 5},  {9, 7},  {10, 0}, {10, 2}, {10, 4}, {10, 6},
+        {11, 0}, {11, 1}, {11, 3}, {11, 5}, {12, 0}, {12, 2}, {12, 4}};
+
+    printHeader(
+        "Figure 7: adjusted coverage/accuracy vs compare.filter bits",
+        "coverage falls and accuracy rises as compare bits grow; "
+        "8.4 is the chosen trade-off",
+        base);
+
+    std::printf("%-8s %12s %12s\n", "config", "adj-coverage",
+                "adj-accuracy");
+
+    double best_cov84 = 0, best_acc84 = 0;
+    for (const auto &[cb, fb] : configs) {
+        std::vector<double> covs, accs;
+        for (const auto &name : benchSet()) {
+            SimConfig c = base;
+            c.workload = name;
+            c.cdp.vam.compareBits = cb;
+            c.cdp.vam.filterBits = fb;
+            const RunResult r = runWhole(c);
+            const auto ca = adjustedCoverageAccuracy(
+                r, missesWithoutPrefetching(base, name));
+            covs.push_back(ca.coverage);
+            accs.push_back(ca.accuracy);
+        }
+        const double cov = mean(covs), acc = mean(accs);
+        std::printf("%02u.%-5u %11.1f%% %11.1f%%\n", cb, fb,
+                    cov * 100.0, acc * 100.0);
+        if (cb == 8 && fb == 4) {
+            best_cov84 = cov;
+            best_acc84 = acc;
+        }
+    }
+
+    std::printf("\nchosen configuration 8.4: coverage %.1f%%, "
+                "accuracy %.1f%%\n",
+                best_cov84 * 100.0, best_acc84 * 100.0);
+    return 0;
+}

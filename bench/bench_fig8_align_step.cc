@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 8: adjusted coverage/accuracy across align-bit and
+ * scan-step combinations with compare/filter fixed at 8.4.
+ *
+ * The paper finds that demanding full 4-byte alignment (2 align
+ * bits) costs coverage because not all compilers align node bases;
+ * 1 align bit with a 2-byte scan step ("8.4.1.2") is the chosen
+ * trade-off.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace cdp;
+using namespace cdpbench;
+
+int
+main(int argc, char **argv)
+{
+    SimConfig base;
+    applyEnv(base, argc, argv);
+
+    // The paper's grid: align bits {0,1,2,4} x scan step {1,2,4}.
+    const std::pair<unsigned, unsigned> configs[] = {
+        {0, 1}, {1, 1}, {2, 1}, {4, 1}, {0, 2}, {1, 2},
+        {2, 2}, {4, 2}, {0, 4}, {1, 4}, {2, 4}, {4, 4}};
+
+    printHeader(
+        "Figure 8: adjusted coverage/accuracy vs align bits & scan step",
+        "more align bits raise accuracy but cost coverage (not all "
+        "compilers align); 8.4.1.2 is the chosen trade-off",
+        base);
+
+    std::printf("%-10s %12s %12s\n", "config", "adj-coverage",
+                "adj-accuracy");
+
+    for (const auto &[ab, step] : configs) {
+        std::vector<double> covs, accs;
+        for (const auto &name : benchSet()) {
+            SimConfig c = base;
+            c.workload = name;
+            c.cdp.vam.alignBits = ab;
+            c.cdp.vam.scanStep = step;
+            const RunResult r = runWhole(c);
+            const auto ca = adjustedCoverageAccuracy(
+                r, missesWithoutPrefetching(base, name));
+            covs.push_back(ca.coverage);
+            accs.push_back(ca.accuracy);
+        }
+        std::printf("8.4.%u.%-4u %11.1f%% %11.1f%%\n", ab, step,
+                    mean(covs) * 100.0, mean(accs) * 100.0);
+    }
+
+    std::printf("\nshape check: align=2 raises accuracy over align=1 "
+                "at equal step,\nwhile coverage drops (alignment-"
+                "noise allocations are missed).\n");
+    return 0;
+}

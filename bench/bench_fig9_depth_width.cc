@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 9: speedup versus prefetch width (prev/next lines) for
+ * depth thresholds {3, 5, 9}, with and without path reinforcement.
+ *
+ * Paper findings to reproduce in shape:
+ *  - previous-line prefetching adds nothing on average;
+ *  - without reinforcement, deeper thresholds do better;
+ *  - with reinforcement the ordering reverses (depth 3 best) and the
+ *    overall best point is reinforcement + depth 3 + p0.n3 (12.6%),
+ *    ~1.3% above the best no-reinforcement configuration.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace cdp;
+using namespace cdpbench;
+
+int
+main(int argc, char **argv)
+{
+    SimConfig base;
+    applyEnv(base, argc, argv);
+
+    const std::pair<unsigned, unsigned> widths[] = {
+        {0, 0}, {0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 0}, {1, 1}};
+    const unsigned depths[] = {3, 5, 9};
+
+    printHeader(
+        "Figure 9: speedup vs prefetch depth and next-line count",
+        "prev-line adds nothing; without reinforcement deeper is "
+        "better; with reinforcement depth 3 + p0.n3 wins (~12.6%)",
+        base);
+
+    // Baselines (stride only) per workload, reused across configs.
+    std::vector<RunResult> baselines;
+    for (const auto &name : benchSet()) {
+        SimConfig c = base;
+        c.workload = name;
+        c.cdp.enabled = false;
+        baselines.push_back(runSim(c));
+    }
+
+    std::printf("%-8s", "width");
+    for (unsigned d : depths)
+        std::printf(" %11s.%u", "depth-nr", d);
+    for (unsigned d : depths)
+        std::printf(" %11s.%u", "depth-rf", d);
+    std::printf("\n");
+
+    double best = 0.0;
+    std::string best_label;
+    for (const auto &[prev, next] : widths) {
+        std::printf("p%u.n%-4u", prev, next);
+        for (bool reinforce : {false, true}) {
+            for (unsigned depth : depths) {
+                std::vector<double> sp;
+                const auto set = benchSet();
+                for (std::size_t i = 0; i < set.size(); ++i) {
+                    SimConfig c = base;
+                    c.workload = set[i];
+                    c.cdp.prevLines = prev;
+                    c.cdp.nextLines = next;
+                    c.cdp.depthThreshold = depth;
+                    c.cdp.reinforce = reinforce;
+                    const RunResult r = runSim(c);
+                    sp.push_back(r.speedupOver(baselines[i]));
+                }
+                const double avg = mean(sp);
+                std::printf(" %12.4f", avg);
+                if (avg > best) {
+                    best = avg;
+                    char lab[64];
+                    std::snprintf(lab, sizeof(lab),
+                                  "p%u.n%u depth %u %s", prev, next,
+                                  depth,
+                                  reinforce ? "reinforced"
+                                            : "no-reinforcement");
+                    best_label = lab;
+                }
+            }
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nbest configuration: %s -> average speedup %s\n",
+                best_label.c_str(), pct(best).c_str());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section 4.2.2: contribution of TLB prefetching.
+ *
+ * The paper doubles the DTLB from 64 to 1024 entries; the content
+ * prefetcher's speedup barely moves (12.6% -> 12.3%), showing that
+ * implicit TLB prefetching is a minor contributor and that a bigger
+ * TLB cannot replace the content prefetcher.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace cdp;
+using namespace cdpbench;
+
+int
+main(int argc, char **argv)
+{
+    SimConfig base;
+    applyEnv(base, argc, argv);
+
+    printHeader(
+        "Section 4.2.2: DTLB size sweep (64..1024 entries)",
+        "speedup nearly flat across TLB sizes (12.6% -> 12.3%): TLB "
+        "prefetching is a minor contributor",
+        base);
+
+    std::printf("%-12s %12s %14s %14s\n", "dtlb", "avg-speedup",
+                "demand-walks", "prefetch-walks");
+
+    for (unsigned entries : {64u, 128u, 256u, 512u, 1024u}) {
+        std::vector<double> sp;
+        std::uint64_t dwalks = 0, pwalks = 0;
+        for (const auto &name : benchSet()) {
+            SimConfig c = base;
+            c.workload = name;
+            c.mem.dtlbEntries = entries;
+            const PairResult pr = runPair(c);
+            sp.push_back(pr.speedup());
+            dwalks += pr.withCdp.mem.demandWalks;
+            pwalks += pr.withCdp.mem.prefetchWalks;
+        }
+        std::printf("%-12u %12s %14llu %14llu\n", entries,
+                    pct(mean(sp)).c_str(),
+                    static_cast<unsigned long long>(dwalks),
+                    static_cast<unsigned long long>(pwalks));
+    }
+
+    std::printf("\nshape check: the speedup column stays roughly "
+                "constant while demand walks\nshrink with TLB size -- "
+                "the content prefetcher is not just a TLB warmer.\n");
+    return 0;
+}

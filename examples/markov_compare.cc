@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Section 5 in miniature: the stateless content prefetcher versus the
+ * 1-history Markov prefetcher on a single workload, including the
+ * Markov prefetcher's defining weakness — it must *train* on a miss
+ * sequence before it can predict it, while the content prefetcher
+ * works on the very first traversal.
+ *
+ * Usage: markov_compare [key=value ...]
+ */
+
+#include <cstdio>
+
+#include "sim/simulator.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+RunResult
+run(SimConfig c)
+{
+    Simulator sim(c);
+    return sim.run();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        SimConfig base;
+        base.parseArgs(argc, argv);
+        if (base.workload == SimConfig{}.workload)
+            base.workload = "tpcc-2";
+        base.cdp.enabled = false;
+        base.scaleRunLength(3.0); // give the Markov STAB revisits
+
+        std::printf("workload: %s\n\n", base.workload.c_str());
+
+        const RunResult stride_only = run(base);
+
+        SimConfig m18 = base;
+        m18.markov.enabled = true;
+        m18.markov.stabBytes = 128 * 1024;
+        m18.mem.l2Bytes = 896 * 1024;
+        m18.mem.l2Ways = 7;
+        const RunResult markov_18 = run(m18);
+
+        SimConfig mbig = base;
+        mbig.markov.enabled = true;
+        mbig.markov.stabBytes = 0;
+        const RunResult markov_big = run(mbig);
+
+        SimConfig content = base;
+        content.cdp.enabled = true;
+        const RunResult cdp_run = run(content);
+
+        auto row = [&](const char *name, const RunResult &r,
+                       const char *note) {
+            std::printf("%-14s ipc %7.4f  speedup %+7.2f%%  misses "
+                        "%8llu  %s\n",
+                        name, r.ipc,
+                        (r.speedupOver(stride_only) - 1.0) * 100.0,
+                        static_cast<unsigned long long>(
+                            r.mem.l2DemandMisses),
+                        note);
+        };
+        row("stride-only", stride_only, "(baseline)");
+        row("markov 1/8", markov_18,
+            "(STAB carved out of the UL2: Table 3)");
+        row("markov big", markov_big, "(unbounded STAB upper bound)");
+        row("content", cdp_run, "(stateless, no training)");
+
+        std::printf("\nwhy the content prefetcher wins: the Markov "
+                    "STAB can only predict\nmiss successions it has "
+                    "already observed, so every first traversal "
+                    "is\nunprefetchable for it; the content "
+                    "prefetcher reads the pointers out\nof the fill "
+                    "data and needs no history at all "
+                    "(Section 5).\n");
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

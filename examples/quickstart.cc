@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Quickstart: run one benchmark twice -- stride-only baseline versus
+ * stride + content-directed prefetcher -- and print the speedup.
+ *
+ * Usage:
+ *   quickstart [key=value ...]
+ * e.g.
+ *   quickstart workload=tpcc-2 measure_uops=500000 cdp.depth=5
+ */
+
+#include <cstdio>
+#include <exception>
+
+#include "sim/simulator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace cdp;
+    try {
+        SimConfig base;
+        base.parseArgs(argc, argv);
+        base.cdp.enabled = false;
+
+        SimConfig with_cdp = base;
+        with_cdp.cdp.enabled = true;
+
+        std::printf("== config ==\n%s\n\n", with_cdp.summary().c_str());
+
+        std::printf("running baseline (stride prefetcher only)...\n");
+        Simulator baseline(base);
+        const RunResult b = baseline.run();
+
+        std::printf("running stride + content prefetcher...\n\n");
+        Simulator cdp_sim(with_cdp);
+        const RunResult c = cdp_sim.run();
+
+        std::printf("%-26s %14s %14s\n", "", "baseline", "with CDP");
+        std::printf("%-26s %14.4f %14.4f\n", "IPC", b.ipc, c.ipc);
+        std::printf("%-26s %14.3f %14.3f\n", "L2 MPTU", b.mptu(),
+                    c.mptu());
+        std::printf("%-26s %14llu %14llu\n", "L2 demand misses",
+                    static_cast<unsigned long long>(b.mem.l2DemandMisses),
+                    static_cast<unsigned long long>(c.mem.l2DemandMisses));
+        std::printf("%-26s %14s %14llu\n", "content pf issued", "-",
+                    static_cast<unsigned long long>(c.mem.cdpIssued));
+        std::printf("%-26s %14s %14llu\n", "content pf useful", "-",
+                    static_cast<unsigned long long>(c.mem.cdpUseful));
+        std::printf("%-26s %14s %14llu\n", "full masks (CDP)", "-",
+                    static_cast<unsigned long long>(c.mem.maskFullCdp));
+        std::printf("%-26s %14s %14llu\n", "partial masks (CDP)", "-",
+                    static_cast<unsigned long long>(c.mem.maskPartialCdp));
+        std::printf("\ndrop/flow counters (CDP run):\n");
+        const auto &m = c.mem;
+        auto P = [](const char *k, std::uint64_t v) {
+            std::printf("  %-24s %12llu\n", k,
+                        static_cast<unsigned long long>(v));
+        };
+        P("pfDropL2Hit", m.pfDropL2Hit);
+        P("pfDropInflight", m.pfDropInflight);
+        P("pfDropQueued", m.pfDropQueued);
+        P("pfDropBusFull", m.pfDropBusFull);
+        P("pfDropUnmapped", m.pfDropUnmapped);
+        P("pfDropArbiter", m.pfDropArbiter);
+        P("promotions", m.promotions);
+        P("rescans", m.rescans);
+        P("prefetchWalks", m.prefetchWalks);
+        P("demandWalks", m.demandWalks);
+        P("strideIssued", m.strideIssued);
+        P("strideUseful", m.strideUseful);
+        P("evictedUnused", m.prefetchEvictedUnused);
+        std::printf("\nspeedup over stride-only baseline: %.2f%%\n",
+                    (c.speedupOver(b) - 1.0) * 100.0);
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small, fast, deterministic random number generator used by the
+ * workload generators and directed testers.
+ *
+ * The simulator must be bit-for-bit reproducible across runs so that
+ * paired baseline/prefetcher experiments see identical uop streams;
+ * std::mt19937_64 would work but is heavyweight to copy around, so a
+ * splitmix64/xoshiro-style generator is used instead.
+ */
+
+#ifndef CDP_COMMON_RNG_HH
+#define CDP_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace cdp
+{
+
+/**
+ * xorshift128+ generator seeded through splitmix64. Deterministic,
+ * copyable, and cheap enough to embed in every workload generator.
+ */
+class Rng
+{
+  public:
+    /** Construct with a seed; equal seeds give equal sequences. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to spread a possibly low-entropy seed.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        s0 = next();
+        s1 = next();
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t x = s0;
+        const std::uint64_t y = s1;
+        s0 = y;
+        x ^= x << 23;
+        s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1 + y;
+    }
+
+    /** Next 32-bit value. */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next64() >> 32); }
+
+    /** Uniform integer in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next64() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s0;
+    std::uint64_t s1;
+};
+
+} // namespace cdp
+
+#endif // CDP_COMMON_RNG_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fundamental types and constants shared by every module of the
+ * content-directed data prefetching (CDP) simulator.
+ *
+ * The reproduced system (Cooksey et al., ASPLOS 2002) models a 32-bit
+ * IA-32-like machine: 32-bit virtual and physical addresses, 64-byte
+ * cache lines, and 4-KByte pages. Those constants live here so that
+ * every substrate agrees on them.
+ */
+
+#ifndef CDP_COMMON_TYPES_HH
+#define CDP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace cdp
+{
+
+/** A 32-bit address; used for both virtual and physical addresses. */
+using Addr = std::uint32_t;
+
+/** Simulation time, measured in processor clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Monotonically increasing identifier for memory transactions. */
+using ReqId = std::uint64_t;
+
+/** Cache line size in bytes (Table 1 of the paper). */
+constexpr Addr lineBytes = 64;
+
+/** log2(lineBytes); used for line-address arithmetic. */
+constexpr unsigned lineShift = 6;
+
+/** Page size in bytes (Table 1 of the paper). */
+constexpr Addr pageBytes = 4096;
+
+/** log2(pageBytes). */
+constexpr unsigned pageShift = 12;
+
+/** Width of an address-sized word scanned by the content prefetcher. */
+constexpr Addr wordBytes = 4;
+
+/** Strip the line offset from an address. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~(lineBytes - 1);
+}
+
+/** Byte offset of an address within its cache line. */
+constexpr Addr
+lineOffset(Addr a)
+{
+    return a & (lineBytes - 1);
+}
+
+/** Strip the page offset from an address. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~(pageBytes - 1);
+}
+
+/** Virtual (or physical) page number of an address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a >> pageShift;
+}
+
+/** Byte offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & (pageBytes - 1);
+}
+
+} // namespace cdp
+
+#endif // CDP_COMMON_TYPES_HH

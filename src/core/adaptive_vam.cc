@@ -1,0 +1,65 @@
+#include "core/adaptive_vam.hh"
+
+namespace cdp
+{
+
+AdaptiveVamController::AdaptiveVamController(
+    const AdaptiveVamConfig &cfg, StatGroup *stats,
+    const std::string &name)
+    : cfg(cfg),
+      epochs(stats ? *stats : dummyGroup, name + ".epochs",
+             "adaptive epochs evaluated"),
+      tightens(stats ? *stats : dummyGroup, name + ".tightens",
+               "steps toward stricter prediction"),
+      loosens(stats ? *stats : dummyGroup, name + ".loosens",
+              "steps toward wider prediction")
+{
+}
+
+bool
+AdaptiveVamController::evaluate(CdpConfig &target)
+{
+    if (!cfg.enabled || issuedInEpoch == 0)
+        return false;
+
+    lastAccuracy = static_cast<double>(usefulInEpoch) /
+                   static_cast<double>(issuedInEpoch);
+    issuedInEpoch = 0;
+    usefulInEpoch = 0;
+    ++epochs;
+
+    if (lastAccuracy < cfg.lowAccuracy) {
+        // Too much junk: first demand a stricter address match, then
+        // shed width.
+        if (target.vam.compareBits < cfg.maxCompareBits) {
+            ++target.vam.compareBits;
+            ++tightens;
+            return true;
+        }
+        if (cfg.adjustWidth && target.nextLines > cfg.minNextLines) {
+            --target.nextLines;
+            ++tightens;
+            return true;
+        }
+        return false;
+    }
+
+    if (lastAccuracy > cfg.highAccuracy) {
+        // Plenty of headroom: widen the net for more coverage.
+        if (target.vam.compareBits > cfg.minCompareBits) {
+            --target.vam.compareBits;
+            ++loosens;
+            return true;
+        }
+        if (cfg.adjustWidth && target.nextLines < cfg.maxNextLines) {
+            ++target.nextLines;
+            ++loosens;
+            return true;
+        }
+        return false;
+    }
+
+    return false; // inside the hysteresis band
+}
+
+} // namespace cdp

@@ -1,0 +1,48 @@
+#include "cpu/gshare.hh"
+
+#include <stdexcept>
+
+namespace cdp
+{
+
+Gshare::Gshare(unsigned entries, StatGroup *stats, const std::string &name)
+    : mask(entries - 1), pht(entries, 1),
+      lookups(stats ? *stats : dummyGroup, name + ".lookups",
+              "branch predictions made"),
+      mispredicts(stats ? *stats : dummyGroup, name + ".mispredicts",
+                  "branches mispredicted")
+{
+    if (entries == 0 || (entries & (entries - 1)) != 0)
+        throw std::invalid_argument("Gshare: entries must be power of two");
+}
+
+bool
+Gshare::predict(Addr pc) const
+{
+    return pht[index(pc)] >= 2;
+}
+
+bool
+Gshare::update(Addr pc, bool taken)
+{
+    ++lookups;
+    const unsigned idx = index(pc);
+    const bool predicted = pht[idx] >= 2;
+
+    std::uint8_t &ctr = pht[idx];
+    if (taken) {
+        if (ctr < 3)
+            ++ctr;
+    } else {
+        if (ctr > 0)
+            --ctr;
+    }
+    history = (history << 1) | (taken ? 1u : 0u);
+
+    const bool correct = predicted == taken;
+    if (!correct)
+        ++mispredicts;
+    return correct;
+}
+
+} // namespace cdp

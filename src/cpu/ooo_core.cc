@@ -1,0 +1,156 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdp
+{
+
+OooCore::OooCore(const CoreConfig &cfg, UopSource &source, CoreMemIf &mem,
+                 StatGroup *stats, const std::string &name)
+    : cfg(cfg), source(source), mem(mem),
+      bp(cfg.bpEntries, stats, name + ".bp"),
+      retired(stats ? *stats : dummyGroup, name + ".retired_uops",
+              "uops retired"),
+      issuedLoads(stats ? *stats : dummyGroup, name + ".loads",
+                  "demand loads issued"),
+      issuedStores(stats ? *stats : dummyGroup, name + ".stores",
+                   "demand stores issued"),
+      issuedBranches(stats ? *stats : dummyGroup, name + ".branches",
+                     "branches executed"),
+      robFullCycles(stats ? *stats : dummyGroup, name + ".rob_full_cycles",
+                    "cycles issue blocked on a full ROB"),
+      fetchStallCycles(stats ? *stats : dummyGroup,
+                       name + ".fetch_stall_cycles",
+                       "cycles fetch was squashed by a mispredict")
+{
+}
+
+void
+OooCore::retireStage()
+{
+    for (unsigned i = 0; i < cfg.retireWidth && !rob.empty(); ++i) {
+        const RobEntry &head = rob.front();
+        if (head.complete > cycle)
+            break;
+        if (head.isLoad)
+            --loadsInRob;
+        if (head.isStore)
+            --storesInRob;
+        rob.pop_front();
+        ++retired;
+    }
+}
+
+void
+OooCore::issueStage()
+{
+    if (cycle < fetchStalledUntil) {
+        ++fetchStallCycles;
+        return;
+    }
+
+    for (unsigned i = 0; i < cfg.issueWidth; ++i) {
+        if (rob.size() >= cfg.robEntries) {
+            if (i == 0)
+                ++robFullCycles;
+            break;
+        }
+        if (!havePending) {
+            pending = source.next();
+            havePending = true;
+        }
+        const Uop &u = pending;
+        if (u.type == UopType::Load && loadsInRob >= cfg.loadBuffer)
+            break;
+        if (u.type == UopType::Store && storesInRob >= cfg.storeBuffer)
+            break;
+        havePending = false;
+
+        Cycle ready = cycle;
+        if (u.src0 != noReg)
+            ready = std::max(ready, regReady[u.src0]);
+        if (u.src1 != noReg)
+            ready = std::max(ready, regReady[u.src1]);
+
+        Cycle complete = ready;
+        bool mispredicted = false;
+        switch (u.type) {
+          case UopType::Alu:
+          case UopType::Nop:
+            complete = ready + cfg.aluLatency;
+            break;
+          case UopType::Fp:
+            complete = ready + cfg.fpLatency;
+            break;
+          case UopType::Load:
+            complete = mem.load(u.pc, u.vaddr, ready, u.pointerLoad);
+            ++issuedLoads;
+            break;
+          case UopType::Store:
+            complete = mem.store(u.pc, u.vaddr, ready);
+            ++issuedStores;
+            break;
+          case UopType::Branch:
+            complete = ready + cfg.aluLatency;
+            ++issuedBranches;
+            mispredicted = !bp.update(u.pc, u.taken);
+            break;
+        }
+
+        if (u.dst != noReg)
+            regReady[u.dst] = complete;
+
+        rob.push_back({complete, u.type == UopType::Load,
+                       u.type == UopType::Store});
+        if (u.type == UopType::Load)
+            ++loadsInRob;
+        if (u.type == UopType::Store)
+            ++storesInRob;
+
+        if (mispredicted) {
+            // Fetch resumes a fixed bubble after the branch resolves.
+            fetchStalledUntil = complete + cfg.mispredictPenalty;
+            break;
+        }
+    }
+}
+
+void
+OooCore::step()
+{
+    mem.advance(cycle);
+
+    const std::uint64_t retired_before = retired.value();
+    const std::size_t rob_before = rob.size();
+    retireStage();
+    issueStage();
+    const bool progressed = retired.value() != retired_before ||
+                            rob.size() != rob_before;
+
+    Cycle next = cycle + 1;
+    if (!progressed) {
+        // Fully stalled: skip ahead to the next event that can
+        // unblock us — the ROB head completing or fetch resuming.
+        Cycle wake = std::numeric_limits<Cycle>::max();
+        if (!rob.empty())
+            wake = std::min(wake, rob.front().complete);
+        if (cycle < fetchStalledUntil)
+            wake = std::min(wake, fetchStalledUntil);
+        if (wake != std::numeric_limits<Cycle>::max())
+            next = std::max(next, wake);
+    }
+    cycle = next;
+}
+
+Cycle
+OooCore::run(std::uint64_t n)
+{
+    const Cycle start = cycle;
+    const std::uint64_t target = retired.value() + n;
+    while (retired.value() < target)
+        step();
+    return cycle - start;
+}
+
+} // namespace cdp

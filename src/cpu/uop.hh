@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Micro-operation (uop) definitions and the uop-source interface.
+ *
+ * The paper's simulator executes Long Instruction Traces through a
+ * pop-level IA-32 model. Our substitution feeds the timing core from
+ * *generated* uop streams: workload generators walk real data
+ * structures living in the simulated memory and emit loads whose
+ * addresses come from genuinely loaded pointer values, plus the ALU,
+ * branch, and store padding that gives each benchmark its compute
+ * density.
+ */
+
+#ifndef CDP_CPU_UOP_HH
+#define CDP_CPU_UOP_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace cdp
+{
+
+/** Functional class of a uop. */
+enum class UopType : std::uint8_t
+{
+    Alu,
+    Fp,
+    Load,
+    Store,
+    Branch,
+    Nop,
+};
+
+/** Number of architectural registers modeled for dependency timing. */
+constexpr unsigned numRegs = 32;
+
+/** Register id meaning "no register". */
+constexpr std::int8_t noReg = -1;
+
+/**
+ * One micro-operation. Dependencies are expressed through up to two
+ * source registers and one destination register; the timing core
+ * tracks per-register ready cycles, so pointer chases serialize
+ * naturally (each hop's address register is written by the previous
+ * hop's load).
+ */
+struct Uop
+{
+    UopType type = UopType::Nop;
+    Addr pc = 0;
+    Addr vaddr = 0;          //!< effective address (Load/Store only)
+    std::int8_t src0 = noReg;
+    std::int8_t src1 = noReg;
+    std::int8_t dst = noReg;
+    bool taken = false;      //!< actual branch outcome (Branch only)
+    bool pointerLoad = false; //!< load of a recurrence pointer (stats)
+};
+
+/**
+ * Infinite stream of uops; workload generators implement this.
+ */
+class UopSource
+{
+  public:
+    virtual ~UopSource() = default;
+
+    /** Produce the next uop of the stream. */
+    virtual Uop next() = 0;
+
+    /** Short workload name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace cdp
+
+#endif // CDP_CPU_UOP_HH

@@ -1,0 +1,87 @@
+#include "mem/backing_store.hh"
+
+#include <cstring>
+
+namespace cdp
+{
+
+BackingStore::Frame &
+BackingStore::frameFor(Addr pa)
+{
+    auto &slot = frames[pageNumber(pa)];
+    if (!slot) {
+        slot = std::make_unique<Frame>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const BackingStore::Frame *
+BackingStore::frameForRead(Addr pa) const
+{
+    auto it = frames.find(pageNumber(pa));
+    return it == frames.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t
+BackingStore::read8(Addr pa) const
+{
+    const Frame *f = frameForRead(pa);
+    return f ? (*f)[pageOffset(pa)] : 0;
+}
+
+void
+BackingStore::write8(Addr pa, std::uint8_t v)
+{
+    frameFor(pa)[pageOffset(pa)] = v;
+}
+
+std::uint32_t
+BackingStore::read32(Addr pa) const
+{
+    // Fast path: word fully inside one frame.
+    if (pageOffset(pa) <= pageBytes - 4) {
+        const Frame *f = frameForRead(pa);
+        if (!f)
+            return 0;
+        std::uint32_t v;
+        std::memcpy(&v, f->data() + pageOffset(pa), 4);
+        return v; // host is little-endian; simulated ISA is too
+    }
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(read8(pa + i)) << (8 * i);
+    return v;
+}
+
+void
+BackingStore::write32(Addr pa, std::uint32_t v)
+{
+    if (pageOffset(pa) <= pageBytes - 4) {
+        std::memcpy(frameFor(pa).data() + pageOffset(pa), &v, 4);
+        return;
+    }
+    for (unsigned i = 0; i < 4; ++i)
+        write8(pa + i, static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+BackingStore::readLine(Addr pa, std::uint8_t *out) const
+{
+    const Addr base = lineAlign(pa);
+    const Frame *f = frameForRead(base);
+    if (f) {
+        std::memcpy(out, f->data() + pageOffset(base), lineBytes);
+    } else {
+        std::memset(out, 0, lineBytes);
+    }
+}
+
+void
+BackingStore::write(Addr pa, const std::uint8_t *src, Addr len)
+{
+    for (Addr i = 0; i < len; ++i)
+        write8(pa + i, src[i]);
+}
+
+} // namespace cdp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simulated physical memory.
+ *
+ * The content prefetcher predicts by *reading the bytes* of filled
+ * cache lines, so the workloads' data structures must genuinely exist
+ * in memory: a linked-list node holds the real (virtual) address of
+ * its successor, little-endian, exactly where the struct layout puts
+ * it. BackingStore provides that byte-addressable physical memory,
+ * allocated lazily in 4-KByte frames.
+ */
+
+#ifndef CDP_MEM_BACKING_STORE_HH
+#define CDP_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace cdp
+{
+
+/**
+ * Lazily allocated, frame-granular physical memory. Reads of frames
+ * that were never written return zero bytes, mirroring a zero-filled
+ * fresh page.
+ */
+class BackingStore
+{
+  public:
+    /** Read a single byte at physical address @p pa. */
+    std::uint8_t read8(Addr pa) const;
+
+    /** Write a single byte. */
+    void write8(Addr pa, std::uint8_t v);
+
+    /**
+     * Read a little-endian 32-bit word. The word may straddle a frame
+     * boundary; it is assembled byte by byte.
+     */
+    std::uint32_t read32(Addr pa) const;
+
+    /** Write a little-endian 32-bit word. */
+    void write32(Addr pa, std::uint32_t v);
+
+    /**
+     * Copy one cache line (lineBytes bytes) starting at the
+     * line-aligned physical address containing @p pa into @p out.
+     */
+    void readLine(Addr pa, std::uint8_t *out) const;
+
+    /** Write @p len bytes from @p src starting at @p pa. */
+    void write(Addr pa, const std::uint8_t *src, Addr len);
+
+    /** Number of frames that have been materialized. */
+    std::size_t framesTouched() const { return frames.size(); }
+
+  private:
+    using Frame = std::array<std::uint8_t, pageBytes>;
+
+    /** Get the frame holding @p pa, creating it zero-filled. */
+    Frame &frameFor(Addr pa);
+
+    /** Get the frame holding @p pa, or nullptr if never written. */
+    const Frame *frameForRead(Addr pa) const;
+
+    std::unordered_map<Addr, std::unique_ptr<Frame>> frames;
+};
+
+} // namespace cdp
+
+#endif // CDP_MEM_BACKING_STORE_HH

@@ -1,0 +1,28 @@
+#include "memsys/bus.hh"
+
+#include <algorithm>
+
+namespace cdp
+{
+
+Bus::Bus(Cycle latency_cycles, Cycle occupancy_cycles, StatGroup *stats,
+         const std::string &name)
+    : latency(latency_cycles), occupancy(occupancy_cycles),
+      transfers(stats ? *stats : dummyGroup, name + ".transfers",
+                "line transfers serviced"),
+      busy(stats ? *stats : dummyGroup, name + ".busy_cycles",
+           "cycles the bus was occupied")
+{
+}
+
+Cycle
+Bus::service(Cycle now)
+{
+    const Cycle start = std::max(now, busyUntil);
+    busyUntil = start + occupancy;
+    ++transfers;
+    busy += occupancy;
+    return start + latency;
+}
+
+} // namespace cdp

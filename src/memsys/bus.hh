@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Front-side bus + DRAM timing model.
+ *
+ * Table 1: 4.26 GByte/s bandwidth (133 MHz, 8 B, quad pumped) and a
+ * 460-processor-cycle round-trip latency at 4 GHz (8 bus cycles
+ * through the chipset = 240 cycles, 55 ns DRAM access = 220 cycles).
+ *
+ * A 64-byte line at 4.26 GB/s occupies the bus for ~15 ns = 60
+ * processor cycles, so the model is a single server with a fixed
+ * occupancy per transfer and a fixed pipe latency: a transfer that
+ * *starts* at cycle S finishes occupying the bus at S + occupancy and
+ * delivers its data at S + latency. Strict priority is enforced by
+ * the bus arbiter in front of this server (QueuedArbiter); once a
+ * transfer starts it cannot be preempted.
+ */
+
+#ifndef CDP_MEMSYS_BUS_HH
+#define CDP_MEMSYS_BUS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "stats/stat.hh"
+
+namespace cdp
+{
+
+/**
+ * Single-server bus/DRAM latency model.
+ */
+class Bus
+{
+  public:
+    /**
+     * @param latency_cycles request-to-data round trip
+     * @param occupancy_cycles per-line bus occupancy (bandwidth)
+     */
+    Bus(Cycle latency_cycles = 460, Cycle occupancy_cycles = 60,
+        StatGroup *stats = nullptr, const std::string &name = "bus");
+
+    /**
+     * Start a transfer no earlier than @p now.
+     * @return the cycle the fill data is available.
+     */
+    Cycle service(Cycle now);
+
+    /** Would a transfer issued at @p now start immediately? */
+    bool freeAt(Cycle now) const { return busyUntil <= now; }
+
+    /** Cycle at which the bus next goes idle. */
+    Cycle freeCycle() const { return busyUntil; }
+
+    Cycle latencyCycles() const { return latency; }
+    Cycle occupancyCycles() const { return occupancy; }
+    std::uint64_t transferCount() const { return transfers.value(); }
+
+    /** Total cycles the bus spent occupied (bandwidth accounting). */
+    std::uint64_t busyCycles() const { return busy.value(); }
+
+  private:
+    Cycle latency;
+    Cycle occupancy;
+    Cycle busyUntil = 0;
+
+    StatGroup dummyGroup;
+    Scalar transfers;
+    Scalar busy;
+};
+
+} // namespace cdp
+
+#endif // CDP_MEMSYS_BUS_HH

@@ -1,0 +1,143 @@
+#include "memsys/cache.hh"
+
+#include <stdexcept>
+
+namespace cdp
+{
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Cache::Cache(std::uint64_t size_bytes, unsigned ways, StatGroup *stats,
+             const std::string &name)
+    : ways(ways),
+      hits(stats ? *stats : dummyGroup, name + ".hits", "cache hits"),
+      misses(stats ? *stats : dummyGroup, name + ".misses",
+             "cache misses"),
+      evictions(stats ? *stats : dummyGroup, name + ".evictions",
+                "valid lines displaced")
+{
+    if (ways == 0)
+        throw std::invalid_argument("Cache: zero ways");
+    if (size_bytes % (static_cast<std::uint64_t>(ways) * lineBytes) != 0)
+        throw std::invalid_argument("Cache: size not divisible by ways");
+    const std::uint64_t s = size_bytes / ways / lineBytes;
+    if (!isPow2(s))
+        throw std::invalid_argument("Cache: set count must be pow2");
+    sets = static_cast<unsigned>(s);
+    lines.resize(static_cast<std::size_t>(sets) * ways);
+}
+
+CacheLine *
+Cache::lookup(Addr addr)
+{
+    const Addr la = lineAlign(addr);
+    CacheLine *base = &lines[static_cast<std::size_t>(setIndex(la)) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        CacheLine &l = base[w];
+        if (l.valid && l.tag == la) {
+            l.lruStamp = ++stamp;
+            ++hits;
+            return &l;
+        }
+    }
+    ++misses;
+    return nullptr;
+}
+
+const CacheLine *
+Cache::probe(Addr addr) const
+{
+    const Addr la = lineAlign(addr);
+    const CacheLine *base =
+        &lines[static_cast<std::size_t>(
+            (la >> lineShift) & (sets - 1)) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        const CacheLine &l = base[w];
+        if (l.valid && l.tag == la)
+            return &l;
+    }
+    return nullptr;
+}
+
+CacheLine *
+Cache::probeMutable(Addr addr)
+{
+    return const_cast<CacheLine *>(
+        static_cast<const Cache *>(this)->probe(addr));
+}
+
+CacheLine &
+Cache::insert(Addr addr, Eviction *evicted)
+{
+    const Addr la = lineAlign(addr);
+    CacheLine *base = &lines[static_cast<std::size_t>(setIndex(la)) * ways];
+    CacheLine *victim = &base[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        CacheLine &l = base[w];
+        if (l.valid && l.tag == la) {
+            victim = &l; // refill of a resident line: reuse in place
+            break;
+        }
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (l.lruStamp < victim->lruStamp)
+            victim = &l;
+    }
+
+    if (evicted) {
+        evicted->valid = victim->valid && victim->tag != la;
+        evicted->lineAddr = victim->tag;
+        evicted->prefetched = victim->prefetched;
+        evicted->fillType = victim->fillType;
+    }
+    if (victim->valid && victim->tag != la)
+        ++evictions;
+
+    victim->tag = la;
+    victim->valid = true;
+    victim->lruStamp = ++stamp;
+    victim->prefetched = false;
+    victim->fillType = ReqType::DemandLoad;
+    victim->storedDepth = 0;
+    victim->fillCycle = 0;
+    victim->everUsed = false;
+    victim->strideOverlap = false;
+    return *victim;
+}
+
+void
+Cache::invalidate(Addr addr)
+{
+    CacheLine *l = probeMutable(addr);
+    if (l)
+        l->valid = false;
+}
+
+void
+Cache::flushAll()
+{
+    for (auto &l : lines)
+        l.valid = false;
+}
+
+std::uint64_t
+Cache::residentLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace cdp

@@ -1,0 +1,64 @@
+#include "memsys/mshr.hh"
+
+namespace cdp
+{
+
+MshrFile::MshrFile(unsigned capacity, StatGroup *stats,
+                   const std::string &name)
+    : capacity(capacity),
+      allocations(stats ? *stats : dummyGroup, name + ".allocations",
+                  "MSHR entries allocated"),
+      promotions(stats ? *stats : dummyGroup, name + ".promotions",
+                 "in-flight prefetches promoted by demands"),
+      rejections(stats ? *stats : dummyGroup, name + ".rejections",
+                 "allocations rejected because the file was full")
+{
+}
+
+MshrEntry *
+MshrFile::find(Addr line_pa)
+{
+    auto it = entries.find(lineAlign(line_pa));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+const MshrEntry *
+MshrFile::find(Addr line_pa) const
+{
+    auto it = entries.find(lineAlign(line_pa));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+bool
+MshrFile::allocate(const MshrEntry &e)
+{
+    if (entries.size() >= capacity) {
+        ++rejections;
+        return false;
+    }
+    entries[lineAlign(e.linePa)] = e;
+    ++allocations;
+    return true;
+}
+
+void
+MshrFile::release(Addr line_pa)
+{
+    entries.erase(lineAlign(line_pa));
+}
+
+bool
+MshrFile::promote(Addr line_pa, unsigned new_depth, Addr new_vaddr)
+{
+    MshrEntry *e = find(line_pa);
+    if (!e || !isPrefetch(e->type))
+        return false;
+    e->type = ReqType::DemandLoad;
+    e->depth = new_depth;
+    e->vaddr = new_vaddr;
+    e->promoted = true;
+    ++promotions;
+    return true;
+}
+
+} // namespace cdp

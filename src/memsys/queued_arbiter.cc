@@ -1,0 +1,109 @@
+#include "memsys/queued_arbiter.hh"
+
+namespace cdp
+{
+
+QueuedArbiter::QueuedArbiter(unsigned capacity, StatGroup *stats,
+                             const std::string &name)
+    : capacity(capacity),
+      accepted(stats ? *stats : dummyGroup, name + ".accepted",
+               "requests accepted into the arbiter"),
+      rejected(stats ? *stats : dummyGroup, name + ".rejected",
+               "requests squashed because the arbiter was full"),
+      displaced(stats ? *stats : dummyGroup, name + ".displaced",
+                "prefetches dropped to admit a demand request")
+{
+}
+
+bool
+QueuedArbiter::dropLowestPrefetch()
+{
+    // Content prefetches first (lowest priority), deepest entry last
+    // in FIFO order; within the class the *newest* (deepest in the
+    // chain, most speculative) request is the sacrifice.
+    for (unsigned p = numPriorities; p-- > 1;) {
+        auto &q = queues[p];
+        if (!q.empty()) {
+            q.pop_back();
+            --total;
+            ++displaced;
+            return true;
+        }
+    }
+    return false;
+}
+
+EnqueueResult
+QueuedArbiter::enqueue(const MemRequest &req)
+{
+    const unsigned prio = req.priority();
+    if (total >= capacity) {
+        if (prio == 0 && dropLowestPrefetch()) {
+            queues[prio].push_back(req);
+            ++total;
+            ++accepted;
+            return EnqueueResult::AcceptedDisplaced;
+        }
+        ++rejected;
+        return EnqueueResult::Rejected;
+    }
+    queues[prio].push_back(req);
+    ++total;
+    ++accepted;
+    return EnqueueResult::Accepted;
+}
+
+void
+QueuedArbiter::requeueFront(const MemRequest &req)
+{
+    queues[req.priority()].push_front(req);
+    ++total;
+}
+
+std::optional<MemRequest>
+QueuedArbiter::dequeue()
+{
+    for (unsigned p = 0; p < numPriorities; ++p) {
+        auto &q = queues[p];
+        if (!q.empty()) {
+            MemRequest r = q.front();
+            q.pop_front();
+            --total;
+            return r;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+QueuedArbiter::contains(Addr line_va) const
+{
+    const Addr la = lineAlign(line_va);
+    for (const auto &q : queues) {
+        for (const auto &r : q) {
+            if (r.lineVa == la)
+                return true;
+        }
+    }
+    return false;
+}
+
+std::optional<MemRequest>
+QueuedArbiter::extractPrefetch(Addr line_va)
+{
+    const Addr la = lineAlign(line_va);
+    for (unsigned p = 1; p < numPriorities; ++p) {
+        auto &q = queues[p];
+        for (auto it = q.begin(); it != q.end(); ++it) {
+            if (it->lineVa == la) {
+                MemRequest r = *it;
+                q.erase(it);
+                --total;
+                return r;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace cdp

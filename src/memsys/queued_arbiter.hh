@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Fixed-size, strict-priority request arbiter.
+ *
+ * Models both the L2 arbiter (128 entries) and the bus arbiter (32
+ * entries) of Figure 6 with the policy from Section 3.5:
+ *
+ *  - strict priority: demand > stride prefetch > content prefetch,
+ *    FIFO within a class;
+ *  - a full arbiter *squashes* an arriving prefetch (no retry);
+ *  - a demand arriving at a full arbiter displaces the resident
+ *    prefetch with the lowest priority (deepest content prefetch
+ *    first), which is then dropped;
+ *  - a demand arriving at an arbiter full of demands must wait
+ *    (reported to the caller, which stalls).
+ */
+
+#ifndef CDP_MEMSYS_QUEUED_ARBITER_HH
+#define CDP_MEMSYS_QUEUED_ARBITER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "common/types.hh"
+#include "memsys/request.hh"
+#include "stats/stat.hh"
+
+namespace cdp
+{
+
+/** Outcome of an enqueue attempt. */
+enum class EnqueueResult
+{
+    Accepted,        //!< request queued normally
+    AcceptedDisplaced, //!< queued after dropping a resident prefetch
+    Rejected,        //!< arbiter full; request squashed
+};
+
+/**
+ * Priority-ordered bounded queue of MemRequests.
+ */
+class QueuedArbiter
+{
+  public:
+    explicit QueuedArbiter(unsigned capacity, StatGroup *stats = nullptr,
+                           const std::string &name = "arbiter");
+
+    /** Attempt to queue @p req under the Section 3.5 policy. */
+    EnqueueResult enqueue(const MemRequest &req);
+
+    /** Highest-priority request, FIFO within class; nullopt if empty. */
+    std::optional<MemRequest> dequeue();
+
+    /**
+     * Put a request back at the *front* of its priority class (used
+     * when the drain logic pops a request it cannot issue yet).
+     */
+    void requeueFront(const MemRequest &req);
+
+    /**
+     * Is a request for the virtual line @p line_va resident in any
+     * class? The L2 arbiter sits before address translation in our
+     * pipeline, so matching is by virtual line address.
+     */
+    bool contains(Addr line_va) const;
+
+    /**
+     * Remove and return the queued *prefetch* for @p line_va, if one
+     * exists (used when a demand promotes a not-yet-started prefetch).
+     */
+    std::optional<MemRequest> extractPrefetch(Addr line_va);
+
+    bool empty() const { return total == 0; }
+    std::size_t size() const { return total; }
+    unsigned capacityOf() const { return capacity; }
+    std::size_t sizeOfClass(unsigned prio) const
+    {
+        return queues[prio].size();
+    }
+
+    std::uint64_t displacedCount() const { return displaced.value(); }
+    std::uint64_t rejectedCount() const { return rejected.value(); }
+
+  private:
+    /** Drop the lowest-priority resident prefetch; false if none. */
+    bool dropLowestPrefetch();
+
+    unsigned capacity;
+    std::deque<MemRequest> queues[numPriorities];
+    std::size_t total = 0;
+
+    StatGroup dummyGroup;
+    Scalar accepted;
+    Scalar rejected;
+    Scalar displaced;
+};
+
+} // namespace cdp
+
+#endif // CDP_MEMSYS_QUEUED_ARBITER_HH

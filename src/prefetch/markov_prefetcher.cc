@@ -1,0 +1,138 @@
+#include "prefetch/markov_prefetcher.hh"
+
+#include <algorithm>
+
+namespace cdp
+{
+
+namespace
+{
+
+unsigned
+floorPow2(std::uint64_t v)
+{
+    unsigned p = 1;
+    while (static_cast<std::uint64_t>(p) * 2 <= v)
+        p *= 2;
+    return p;
+}
+
+} // namespace
+
+MarkovPrefetcher::MarkovPrefetcher(std::uint64_t capacity_bytes,
+                                   unsigned ways, unsigned fanout,
+                                   StatGroup *stats,
+                                   const std::string &name)
+    : ways(ways), fanout(fanout),
+      observed(stats ? *stats : dummyGroup, name + ".observed",
+               "demand misses observed"),
+      issued(stats ? *stats : dummyGroup, name + ".issued",
+             "markov prefetches issued"),
+      trained(stats ? *stats : dummyGroup, name + ".trained",
+              "STAB transitions recorded")
+{
+    if (capacity_bytes == 0) {
+        entryCapacity = 0;
+    } else {
+        const std::uint64_t entries =
+            std::max<std::uint64_t>(ways, capacity_bytes / bytesPerEntry);
+        numSets = floorPow2(entries / ways);
+        entryCapacity = static_cast<std::uint64_t>(numSets) * ways;
+        setTable.resize(entryCapacity);
+    }
+}
+
+MarkovPrefetcher::Entry *
+MarkovPrefetcher::findEntry(Addr line)
+{
+    if (entryCapacity == 0) {
+        auto it = bigTable.find(line);
+        return it == bigTable.end() ? nullptr : &it->second;
+    }
+    const unsigned set = (line >> lineShift) & (numSets - 1);
+    Entry *base = &setTable[static_cast<std::size_t>(set) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == line)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+MarkovPrefetcher::Entry &
+MarkovPrefetcher::allocEntry(Addr line)
+{
+    if (entryCapacity == 0) {
+        Entry &e = bigTable[line];
+        e.tag = line;
+        e.valid = true;
+        return e;
+    }
+    const unsigned set = (line >> lineShift) & (numSets - 1);
+    Entry *base = &setTable[static_cast<std::size_t>(set) * ways];
+    Entry *victim = &base[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.tag == line)
+            return e;
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    victim->tag = line;
+    victim->valid = true;
+    victim->successors.clear();
+    return *victim;
+}
+
+void
+MarkovPrefetcher::train(Addr prev, Addr line)
+{
+    Entry &e = allocEntry(prev);
+    e.lruStamp = ++stamp;
+    auto &succ = e.successors;
+    auto it = std::find(succ.begin(), succ.end(), line);
+    if (it != succ.end())
+        succ.erase(it);
+    succ.insert(succ.begin(), line);
+    if (succ.size() > fanout)
+        succ.resize(fanout);
+    ++trained;
+}
+
+std::vector<Addr>
+MarkovPrefetcher::observeMiss(Addr /*pc*/, Addr vaddr)
+{
+    ++observed;
+    const Addr line = lineAlign(vaddr);
+    std::vector<Addr> out;
+
+    if (Entry *e = findEntry(line)) {
+        e->lruStamp = ++stamp;
+        for (Addr succ : e->successors) {
+            out.push_back(succ);
+            ++issued;
+        }
+    }
+
+    if (havePrev && prevMissLine != line)
+        train(prevMissLine, line);
+    prevMissLine = line;
+    havePrev = true;
+    return out;
+}
+
+std::uint64_t
+MarkovPrefetcher::population() const
+{
+    if (entryCapacity == 0)
+        return bigTable.size();
+    std::uint64_t n = 0;
+    for (const auto &e : setTable)
+        n += e.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace cdp

@@ -1,0 +1,59 @@
+#include "prefetch/nextline_prefetcher.hh"
+
+namespace cdp
+{
+
+NextLinePrefetcher::NextLinePrefetcher(unsigned degree, bool tagged,
+                                       StatGroup *stats,
+                                       const std::string &name)
+    : degree(degree ? degree : 1), tagged(tagged),
+      observed(stats ? *stats : dummyGroup, name + ".observed",
+               "demand misses observed"),
+      issued(stats ? *stats : dummyGroup, name + ".issued",
+             "next-line prefetches issued"),
+      suppressed(stats ? *stats : dummyGroup, name + ".suppressed",
+                 "predictions suppressed by the tag filter")
+{
+}
+
+std::vector<Addr>
+NextLinePrefetcher::observeMiss(Addr /*pc*/, Addr vaddr)
+{
+    ++observed;
+    std::vector<Addr> out;
+    const Addr base = lineAlign(vaddr);
+    for (unsigned d = 1; d <= degree; ++d) {
+        const Addr line = base + d * lineBytes;
+        if (line < base)
+            break; // wrapped past the top of the address space
+        if (tagged && recentSet.count(line)) {
+            ++suppressed;
+            continue;
+        }
+        out.push_back(line);
+        rememberIssued(line);
+        ++issued;
+    }
+    return out;
+}
+
+bool
+NextLinePrefetcher::recentlyIssued(Addr line_va) const
+{
+    return recentSet.count(lineAlign(line_va)) != 0;
+}
+
+void
+NextLinePrefetcher::rememberIssued(Addr line_va)
+{
+    line_va = lineAlign(line_va);
+    if (recentSet.insert(line_va).second) {
+        recentFifo.push_back(line_va);
+        if (recentFifo.size() > recentCapacity) {
+            recentSet.erase(recentFifo.front());
+            recentFifo.pop_front();
+        }
+    }
+}
+
+} // namespace cdp

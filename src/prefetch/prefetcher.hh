@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Common interface for miss-stream-driven prefetchers.
+ *
+ * The stride prefetcher (baseline, always on in the paper) and the
+ * Markov prefetcher (Section 5 comparison) both watch a demand miss
+ * stream and emit candidate virtual addresses. The content prefetcher
+ * is deliberately *not* behind this interface: it consumes fill
+ * contents, not miss addresses, which is the paper's whole point.
+ */
+
+#ifndef CDP_PREFETCH_PREFETCHER_HH
+#define CDP_PREFETCH_PREFETCHER_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace cdp
+{
+
+/**
+ * Abstract miss-driven prefetcher.
+ */
+class Prefetcher
+{
+  public:
+    virtual ~Prefetcher() = default;
+
+    /**
+     * Observe one demand miss.
+     * @param pc program counter of the missing load
+     * @param vaddr effective address that missed
+     * @return virtual addresses to prefetch (possibly empty)
+     */
+    virtual std::vector<Addr> observeMiss(Addr pc, Addr vaddr) = 0;
+
+    /** Identifying name for stats and traces. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace cdp
+
+#endif // CDP_PREFETCH_PREFETCHER_HH

@@ -1,0 +1,88 @@
+#include "prefetch/stride_prefetcher.hh"
+
+namespace cdp
+{
+
+StridePrefetcher::StridePrefetcher(unsigned table_entries, unsigned degree,
+                                   unsigned conf_threshold,
+                                   StatGroup *stats,
+                                   const std::string &name)
+    : table(table_entries), degree(degree), confThreshold(conf_threshold),
+      observed(stats ? *stats : dummyGroup, name + ".observed",
+               "demand misses observed"),
+      issued(stats ? *stats : dummyGroup, name + ".issued",
+             "stride prefetches issued")
+{
+}
+
+std::vector<Addr>
+StridePrefetcher::observeMiss(Addr pc, Addr vaddr)
+{
+    ++observed;
+    std::vector<Addr> out;
+    Entry &e = table[(pc >> 2) % table.size()];
+
+    if (!e.valid || e.pcTag != pc) {
+        e.pcTag = pc;
+        e.lastAddr = vaddr;
+        e.stride = 0;
+        e.confidence = 0;
+        e.valid = true;
+        return out;
+    }
+
+    const auto new_stride = static_cast<std::int32_t>(vaddr - e.lastAddr);
+    if (new_stride == 0) {
+        // Same address again (e.g. a miss under a miss); no update.
+        return out;
+    }
+
+    if (new_stride == e.stride) {
+        if (e.confidence < 3)
+            ++e.confidence;
+    } else {
+        if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.stride = new_stride;
+        }
+    }
+    e.lastAddr = vaddr;
+
+    if (e.confidence >= confThreshold && e.stride != 0) {
+        Addr target = vaddr;
+        Addr prev_line = lineAlign(vaddr);
+        for (unsigned d = 0; d < degree; ++d) {
+            target += static_cast<Addr>(e.stride);
+            const Addr line = lineAlign(target);
+            if (line == prev_line)
+                continue; // small stride staying in the same line
+            prev_line = line;
+            out.push_back(target);
+            rememberIssued(line);
+            ++issued;
+        }
+    }
+    return out;
+}
+
+bool
+StridePrefetcher::recentlyIssued(Addr line_va) const
+{
+    return recentSet.count(lineAlign(line_va)) != 0;
+}
+
+void
+StridePrefetcher::rememberIssued(Addr line_va)
+{
+    line_va = lineAlign(line_va);
+    if (recentSet.insert(line_va).second) {
+        recentFifo.push_back(line_va);
+        if (recentFifo.size() > recentCapacity) {
+            recentSet.erase(recentFifo.front());
+            recentFifo.pop_front();
+        }
+    }
+}
+
+} // namespace cdp

@@ -1,0 +1,161 @@
+#include "sim/config.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdp
+{
+
+namespace
+{
+
+std::uint64_t
+toU64(const std::string &v)
+{
+    return std::stoull(v);
+}
+
+bool
+toBool(const std::string &v)
+{
+    return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+} // namespace
+
+void
+SimConfig::scaleRunLength(double factor)
+{
+    if (factor <= 0.0)
+        throw std::invalid_argument("scaleRunLength: factor must be > 0");
+    warmupUops = static_cast<std::uint64_t>(warmupUops * factor);
+    measureUops = static_cast<std::uint64_t>(measureUops * factor);
+    if (warmupUops == 0)
+        warmupUops = 1;
+    if (measureUops == 0)
+        measureUops = 1;
+}
+
+bool
+SimConfig::applyOverride(const std::string &key, const std::string &value)
+{
+    // Core.
+    if (key == "core.issue_width") core.issueWidth = toU64(value);
+    else if (key == "core.rob") core.robEntries = toU64(value);
+    else if (key == "core.load_buffer") core.loadBuffer = toU64(value);
+    else if (key == "core.store_buffer") core.storeBuffer = toU64(value);
+    else if (key == "core.mispredict_penalty")
+        core.mispredictPenalty = toU64(value);
+    // Memory hierarchy.
+    else if (key == "mem.l1_kb") mem.l1Bytes = toU64(value) * 1024;
+    else if (key == "mem.l2_kb") mem.l2Bytes = toU64(value) * 1024;
+    else if (key == "mem.l2_ways") mem.l2Ways = toU64(value);
+    else if (key == "mem.dtlb_entries") mem.dtlbEntries = toU64(value);
+    else if (key == "mem.dtlb_ways") mem.dtlbWays = toU64(value);
+    else if (key == "mem.bus_latency") mem.busLatency = toU64(value);
+    else if (key == "mem.bus_occupancy") mem.busOccupancy = toU64(value);
+    else if (key == "mem.bus_queue") mem.busQueueSize = toU64(value);
+    else if (key == "mem.l2_queue") mem.l2QueueSize = toU64(value);
+    // Stride prefetcher.
+    else if (key == "stride.enabled") stride.enabled = toBool(value);
+    else if (key == "stride.policy") {
+        if (value != "stride" && value != "nextline")
+            throw std::invalid_argument(
+                "stride.policy must be 'stride' or 'nextline'");
+        stride.policy = value;
+    }
+    else if (key == "stride.degree") stride.degree = toU64(value);
+    else if (key == "stride.entries") stride.tableEntries = toU64(value);
+    // Markov prefetcher.
+    else if (key == "markov.enabled") markov.enabled = toBool(value);
+    else if (key == "markov.stab_kb") markov.stabBytes = toU64(value) * 1024;
+    else if (key == "markov.fanout") markov.fanout = toU64(value);
+    // Content prefetcher.
+    else if (key == "cdp.enabled") cdp.enabled = toBool(value);
+    else if (key == "cdp.compare_bits") cdp.vam.compareBits = toU64(value);
+    else if (key == "cdp.filter_bits") cdp.vam.filterBits = toU64(value);
+    else if (key == "cdp.align_bits") cdp.vam.alignBits = toU64(value);
+    else if (key == "cdp.scan_step") cdp.vam.scanStep = toU64(value);
+    else if (key == "cdp.depth") cdp.depthThreshold = toU64(value);
+    else if (key == "cdp.next_lines") cdp.nextLines = toU64(value);
+    else if (key == "cdp.prev_lines") cdp.prevLines = toU64(value);
+    else if (key == "cdp.reinforce") cdp.reinforce = toBool(value);
+    else if (key == "cdp.reinforce_min_delta")
+        cdp.reinforceMinDelta = toU64(value);
+    else if (key == "cdp.scan_page_walks")
+        cdp.scanPageWalkFills = toBool(value);
+    else if (key == "cdp.scan_width")
+        cdp.scanWidthFills = toBool(value);
+    // Adaptive VAM controller (Section 4.1 future work).
+    else if (key == "adaptive.enabled") adaptive.enabled = toBool(value);
+    else if (key == "adaptive.epoch")
+        adaptive.epochPrefetches = toU64(value);
+    else if (key == "adaptive.low_accuracy")
+        adaptive.lowAccuracy = std::stod(value);
+    else if (key == "adaptive.high_accuracy")
+        adaptive.highAccuracy = std::stod(value);
+    else if (key == "adaptive.adjust_width")
+        adaptive.adjustWidth = toBool(value);
+    // Pollution limit study.
+    else if (key == "pollution.enabled") pollution.enabled = toBool(value);
+    // Run control.
+    else if (key == "workload") workload = value;
+    else if (key == "seed") workloadSeed = toU64(value);
+    else if (key == "warmup_uops") warmupUops = toU64(value);
+    else if (key == "measure_uops") measureUops = toU64(value);
+    else if (key == "scale") scaleRunLength(std::stod(value));
+    else
+        return false;
+    return true;
+}
+
+void
+SimConfig::parseArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos) {
+            throw std::invalid_argument(
+                "expected key=value argument, got: " + arg);
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (!applyOverride(key, value))
+            throw std::invalid_argument("unknown config key: " + key);
+    }
+    if (const char *scale = std::getenv("CDP_SCALE"))
+        scaleRunLength(std::stod(scale));
+}
+
+std::string
+SimConfig::summary() const
+{
+    std::ostringstream os;
+    os << "machine: " << core.issueWidth << "-wide, ROB "
+       << core.robEntries << ", LB " << core.loadBuffer << ", SB "
+       << core.storeBuffer << ", bp gshare " << core.bpEntries
+       << " (penalty " << core.mispredictPenalty << ")\n"
+       << "mem: DL1 " << mem.l1Bytes / 1024 << "KB/" << mem.l1Ways
+       << "w (" << mem.l1Latency << "cy), UL2 " << mem.l2Bytes / 1024
+       << "KB/" << mem.l2Ways << "w (" << mem.l2Latency
+       << "cy), DTLB " << mem.dtlbEntries << "/" << mem.dtlbWays
+       << "w, bus " << mem.busLatency << "cy lat / "
+       << mem.busOccupancy << "cy occ, queues L2=" << mem.l2QueueSize
+       << " bus=" << mem.busQueueSize << "\n"
+       << "stride: " << (stride.enabled ? "on" : "off") << " degree "
+       << stride.degree << "; markov: "
+       << (markov.enabled ? "on" : "off") << " stab "
+       << markov.stabBytes / 1024 << "KB\n"
+       << "cdp: " << (cdp.enabled ? "on" : "off") << " vam "
+       << cdp.vam.label() << " depth " << cdp.depthThreshold << " "
+       << cdp.widthLabel() << " reinforce "
+       << (cdp.reinforce ? "on" : "off") << " (delta "
+       << cdp.reinforceMinDelta << ")\n"
+       << "run: workload " << workload << " seed " << workloadSeed
+       << " warmup " << warmupUops << " measure " << measureUops;
+    return os.str();
+}
+
+} // namespace cdp

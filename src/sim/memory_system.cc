@@ -1,0 +1,551 @@
+#include "sim/memory_system.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdp
+{
+
+MemorySystem::MemorySystem(const SimConfig &cfg, BackingStore &store,
+                           PageTable &page_table, StatGroup *stats)
+    : cfg(cfg), backing(store), pageTable(page_table),
+      dl1(cfg.mem.l1Bytes, cfg.mem.l1Ways, stats, "dl1"),
+      ul2(cfg.mem.l2Bytes, cfg.mem.l2Ways, stats, "ul2"),
+      dataTlb(cfg.mem.dtlbEntries, cfg.mem.dtlbWays, stats, "dtlb"),
+      walker(page_table, stats, "walker"),
+      stride(cfg.stride.tableEntries, cfg.stride.degree,
+             cfg.stride.confThreshold, stats, "stride"),
+      nextline(cfg.stride.policy == "nextline"
+                   ? std::make_unique<NextLinePrefetcher>(
+                         cfg.stride.degree, true, stats, "nextline")
+                   : nullptr),
+      markov(cfg.markov.enabled
+                 ? std::make_unique<MarkovPrefetcher>(
+                       cfg.markov.stabBytes, cfg.markov.ways,
+                       cfg.markov.fanout, stats, "markov")
+                 : nullptr),
+      cdp(cfg.cdp, stats, "cdp"),
+      adaptive(cfg.adaptive, stats, "adaptive"),
+      bus(cfg.mem.busLatency, cfg.mem.busOccupancy, stats, "bus"),
+      l2Arbiter(cfg.mem.l2QueueSize, stats, "l2arb"),
+      mshrs(cfg.core.loadBuffer + cfg.mem.busQueueSize + 8, stats,
+            "mshr"),
+      pollutionRng(cfg.pollution.seed),
+      pollutionSpan(static_cast<Addr>(cfg.physFrames) * pageBytes),
+      loadLatency(stats ? *stats : dummyStatGroup,
+                  "mem.load_latency",
+                  "demand load-to-use latency (cycles)", 0, 800, 16),
+      prefetchLead(stats ? *stats : dummyStatGroup,
+                   "mem.prefetch_lead",
+                   "content-prefetch fill-to-use lead (cycles)", 0,
+                   2000, 20)
+{
+}
+
+void
+MemorySystem::advance(Cycle now)
+{
+    // Iterate to a fixpoint: completed fills can enqueue chained
+    // prefetches, and drained prefetches can complete within the same
+    // window, whose fills must be scanned in turn.
+    for (;;) {
+        bool progressed = false;
+        while (!pendingFills.empty() &&
+               pendingFills.top().completion <= now) {
+            const PendingFill f = pendingFills.top();
+            pendingFills.pop();
+            completeFill(f.linePa, f.completion);
+            progressed = true;
+        }
+        const std::size_t queued = l2Arbiter.size();
+        drainPrefetches(now);
+        progressed |= l2Arbiter.size() != queued;
+        if (!progressed)
+            break;
+    }
+    if (adaptive.epochElapsed()) {
+        CdpConfig tuned = cdp.config();
+        if (adaptive.evaluate(tuned))
+            cdp.reconfigure(tuned);
+    }
+    if (cfg.pollution.enabled)
+        maybeInjectPollution(now);
+}
+
+void
+MemorySystem::drainAll(Cycle now)
+{
+    while (!pendingFills.empty() || !l2Arbiter.empty()) {
+        Cycle horizon = now;
+        if (!pendingFills.empty())
+            horizon = std::max(horizon, pendingFills.top().completion);
+        advance(horizon + cfg.mem.drainBudgetCap);
+        now = horizon + cfg.mem.drainBudgetCap;
+    }
+}
+
+void
+MemorySystem::drainPrefetches(Cycle now)
+{
+    // Accumulate L2-arbiter slots at one per elapsed cycle (the L2
+    // throughput of Table 1), capped so an idle aeon cannot bank an
+    // unbounded burst.
+    if (now > lastDrain) {
+        drainPool = std::min<Cycle>(
+            drainPool + (now - lastDrain), cfg.mem.drainBudgetCap);
+        lastDrain = now;
+    }
+
+    // Reinforcement rescans steal UL2 port slots (Section 4.2.1:
+    // "the rescan overhead ... can put a strain on the memory
+    // system, specifically the UL2 cache").
+    while (drainPool > 0 && rescanDebt > 0) {
+        --drainPool;
+        --rescanDebt;
+    }
+    // Strict priority (Section 3.5): prefetches only consume *idle*
+    // bus slots, never reserving bandwidth ahead of a later demand.
+    // The prefetch hardware runs concurrently with the (possibly
+    // stalled) core, so a request issues at the first bus-idle point
+    // after it was enqueued -- which may lie anywhere inside the
+    // window the core just skipped over.
+    while (drainPool > 0 && !l2Arbiter.empty()) {
+        auto req = l2Arbiter.dequeue();
+        if (!req)
+            break;
+        const Cycle t = std::max(req->enqueued, bus.freeCycle());
+        if (t > now) {
+            // Bus stays busy past the current horizon; retry on the
+            // next advance.
+            l2Arbiter.requeueFront(*req);
+            break;
+        }
+        --drainPool;
+        issuePrefetch(*req, t);
+    }
+}
+
+std::optional<Cycle>
+MemorySystem::timedWalk(Addr va, Cycle now, bool speculative)
+{
+    if (speculative)
+        ++ctr.prefetchWalks;
+    else
+        ++ctr.demandWalks;
+
+    const WalkResult wr = walker.walk(va, dataTlb);
+    Cycle lat = 0;
+    for (Addr pa : wr.accesses) {
+        const Addr lpa = lineAlign(pa);
+        if (ul2.lookup(lpa)) {
+            lat += cfg.mem.l2Latency;
+            continue;
+        }
+        if (const MshrEntry *e = mshrs.find(lpa)) {
+            if (e->completion > now + lat)
+                lat = e->completion - now;
+            continue;
+        }
+        const Cycle comp = bus.service(now + lat);
+        MshrEntry fill{};
+        fill.linePa = lpa;
+        fill.lineVa = 0;
+        fill.vaddr = va;
+        fill.type = ReqType::PageWalk;
+        fill.completion = comp;
+        if (mshrs.allocate(fill))
+            pendingFills.push({comp, lpa});
+        lat = comp - now;
+    }
+    if (!wr.framePa)
+        return std::nullopt;
+    return lat;
+}
+
+std::optional<Addr>
+MemorySystem::translate(Addr va, Cycle now, bool speculative,
+                        Cycle *extra_latency)
+{
+    if (auto frame = dataTlb.lookup(va))
+        return *frame | pageOffset(va);
+
+    const auto lat = timedWalk(va, now, speculative);
+    if (!lat)
+        return std::nullopt;
+    *extra_latency += *lat;
+    const auto frame = dataTlb.probe(va);
+    if (!frame)
+        return std::nullopt;
+    return *frame | pageOffset(va);
+}
+
+void
+MemorySystem::enqueuePrefetch(ReqType type, Addr vaddr, Addr line_va,
+                              unsigned depth, Cycle now,
+                              bool width_line)
+{
+    if (type == ReqType::ContentPrefetch &&
+        depth > cfg.cdp.depthThreshold)
+        return; // chain terminated (Section 3.4.1)
+
+    if (l2Arbiter.contains(line_va)) {
+        ++ctr.pfDropQueued;
+        return;
+    }
+
+    MemRequest req{};
+    req.id = nextReqId++;
+    req.type = type;
+    req.vaddr = vaddr;
+    req.lineVa = lineAlign(line_va);
+    req.depth = depth;
+    req.widthLine = width_line;
+    req.enqueued = now;
+    if (l2Arbiter.enqueue(req) == EnqueueResult::Rejected)
+        ++ctr.pfDropArbiter;
+}
+
+bool
+MemorySystem::issuePrefetch(MemRequest req, Cycle now)
+{
+    Cycle extra = 0;
+    const auto pa = translate(req.lineVa, now, true, &extra);
+    if (!pa) {
+        ++ctr.pfDropUnmapped;
+        return false;
+    }
+    const Addr line_pa = lineAlign(*pa);
+
+    if (CacheLine *line = ul2.probeMutable(line_pa)) {
+        ++ctr.pfDropL2Hit;
+        // A shallower prefetch touching a deeper resident line still
+        // reinforces the chain (Section 3.4.2: "any memory request").
+        reinforceOnHit(*line, line_pa, req.depth, req.vaddr, now);
+        return false;
+    }
+    if (mshrs.find(line_pa)) {
+        ++ctr.pfDropInflight;
+        return false;
+    }
+    if (prefetchInFlight >= cfg.mem.busQueueSize) {
+        ++ctr.pfDropBusFull;
+        return false;
+    }
+
+    MshrEntry e{};
+    e.linePa = line_pa;
+    e.lineVa = req.lineVa;
+    e.vaddr = req.vaddr;
+    e.type = req.type;
+    e.depth = req.depth;
+    e.strideOverlap = req.type == ReqType::ContentPrefetch &&
+                      baselineRecentlyIssued(req.lineVa);
+    e.widthLine = req.widthLine;
+    e.completion = bus.service(now + extra);
+    if (!mshrs.allocate(e)) {
+        ++ctr.pfDropBusFull;
+        return false;
+    }
+    ++prefetchInFlight;
+    pendingFills.push({e.completion, line_pa});
+
+    if (req.type == ReqType::ContentPrefetch) {
+        ++ctr.cdpIssued;
+        adaptive.noteIssued();
+        if (e.strideOverlap)
+            ++ctr.cdpIssuedOverlap;
+    } else {
+        ++ctr.strideIssued;
+    }
+    return true;
+}
+
+void
+MemorySystem::reinforceOnHit(CacheLine &line, Addr line_pa,
+                             unsigned req_depth, Addr req_vaddr,
+                             Cycle now)
+{
+    if (!cfg.cdp.enabled || !cfg.cdp.reinforce)
+        return;
+    if (line.storedDepth <= req_depth)
+        return;
+    const bool rescan = cdp.shouldRescan(req_depth, line.storedDepth);
+    line.storedDepth = static_cast<std::uint8_t>(req_depth);
+    ++ctr.promotions;
+    if (rescan) {
+        ++ctr.rescans;
+        ++rescanDebt;
+        scanAndEnqueue(line_pa, req_vaddr, req_depth, true, now);
+    }
+}
+
+void
+MemorySystem::scanAndEnqueue(Addr line_pa, Addr trigger_ea,
+                             unsigned depth, bool is_rescan, Cycle now)
+{
+    if (!cfg.cdp.enabled)
+        return;
+    std::uint8_t buf[lineBytes];
+    backing.readLine(line_pa, buf);
+    for (const CdpCandidate &c :
+         cdp.scanFill(buf, trigger_ea, depth, is_rescan)) {
+        enqueuePrefetch(ReqType::ContentPrefetch, c.vaddr, c.lineVa,
+                        c.depth, now, c.widthLine);
+    }
+}
+
+void
+MemorySystem::completeFill(Addr line_pa, Cycle when)
+{
+    MshrEntry *found = mshrs.find(line_pa);
+    if (!found)
+        return; // stale event (entry was serviced another way)
+    const MshrEntry entry = *found;
+    mshrs.release(line_pa);
+
+    if (isPrefetch(entry.type) || entry.promoted) {
+        if (prefetchInFlight > 0)
+            --prefetchInFlight;
+    }
+
+    Eviction ev;
+    CacheLine &line = ul2.insert(line_pa, &ev);
+    if (ev.valid && ev.prefetched)
+        ++ctr.prefetchEvictedUnused;
+
+    line.prefetched = isPrefetch(entry.type);
+    line.fillType = entry.type;
+    line.storedDepth =
+        static_cast<std::uint8_t>(std::min(entry.depth, 255u));
+    line.fillCycle = when;
+    line.strideOverlap = entry.strideOverlap;
+    line.everUsed = !isPrefetch(entry.type) &&
+                    entry.type != ReqType::PageWalk;
+
+    if ((entry.type == ReqType::DemandLoad ||
+         entry.type == ReqType::DemandStore) &&
+        !entry.pollution) {
+        dl1.insert(entry.lineVa);
+    }
+
+    if (entry.pollution)
+        return;
+    if (entry.type == ReqType::PageWalk && !cfg.cdp.scanPageWalkFills)
+        return; // Section 3.5: page-walk traffic bypasses the scanner
+    if (entry.widthLine && !cfg.cdp.scanWidthFills)
+        return; // width fills pull in node payload, not chain links
+    scanAndEnqueue(line_pa, entry.vaddr, entry.depth, false, when);
+}
+
+std::vector<Addr>
+MemorySystem::baselineObserve(Addr pc, Addr vaddr)
+{
+    if (nextline)
+        return nextline->observeMiss(pc, vaddr);
+    return stride.observeMiss(pc, vaddr);
+}
+
+bool
+MemorySystem::baselineRecentlyIssued(Addr line_va) const
+{
+    if (nextline)
+        return nextline->recentlyIssued(line_va);
+    return stride.recentlyIssued(line_va);
+}
+
+void
+MemorySystem::maybeInjectPollution(Cycle now)
+{
+    if (!bus.freeAt(now))
+        return;
+    // Inject on a fraction of idle opportunities; advance() is not
+    // called every cycle, so firing on every call would overshoot
+    // the paper's "every idle bus cycle" rate substantially.
+    if (!pollutionRng.chance(0.3))
+        return;
+    const Addr line_pa =
+        lineAlign(static_cast<Addr>(pollutionRng.below(pollutionSpan)));
+    if (ul2.probe(line_pa) || mshrs.find(line_pa))
+        return;
+
+    MshrEntry e{};
+    e.linePa = line_pa;
+    e.type = ReqType::ContentPrefetch;
+    e.depth = cfg.cdp.depthThreshold; // never scanned
+    e.pollution = true;
+    e.completion = bus.service(now);
+    if (mshrs.allocate(e)) {
+        ++prefetchInFlight;
+        pendingFills.push({e.completion, line_pa});
+        ++ctr.pollutionInjected;
+    }
+}
+
+Cycle
+MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
+{
+    advance(now);
+    ++ctr.demandLoads;
+
+    if (dl1.lookup(vaddr)) {
+        loadLatency.sample(static_cast<double>(cfg.mem.l1Latency));
+        return now + cfg.mem.l1Latency;
+    }
+    ++ctr.l1Misses;
+
+    // The baseline prefetcher monitors the L1 miss stream (Fig. 6).
+    bool stride_fired = false;
+    if (cfg.stride.enabled) {
+        for (Addr p : baselineObserve(pc, vaddr)) {
+            stride_fired = true;
+            enqueuePrefetch(ReqType::StridePrefetch, p, lineAlign(p), 1,
+                            now);
+        }
+    }
+
+    Cycle extra = 0;
+    const auto pa = translate(vaddr, now, false, &extra);
+    if (!pa)
+        throw std::runtime_error("demand load to unmapped VA");
+    const Addr line_pa = lineAlign(*pa);
+    const Addr line_va = lineAlign(vaddr);
+    const Cycle t0 = now + extra + 1; // one cycle of L2 queueing
+
+    ++ctr.l2DemandAccesses;
+    if (CacheLine *line = ul2.lookup(line_pa)) {
+        if (line->prefetched && !line->everUsed) {
+            // First demand touch of a prefetched line: fully masked.
+            if (now > line->fillCycle)
+                prefetchLead.sample(
+                    static_cast<double>(now - line->fillCycle));
+            if (line->fillType == ReqType::ContentPrefetch) {
+                ++ctr.maskFullCdp;
+                ++ctr.cdpUseful;
+                adaptive.noteUseful();
+                if (line->strideOverlap)
+                    ++ctr.cdpUsefulOverlap;
+            } else {
+                ++ctr.maskFullStride;
+                ++ctr.strideUseful;
+            }
+        }
+        line->everUsed = true;
+        reinforceOnHit(*line, line_pa, 0, vaddr, now);
+        dl1.insert(line_va);
+        loadLatency.sample(
+            static_cast<double>(t0 + cfg.mem.l2Latency - now));
+        return t0 + cfg.mem.l2Latency;
+    }
+
+    // L2 miss: check in-flight transactions first.
+    if (const MshrEntry *e = mshrs.find(line_pa)) {
+        const Cycle fresh =
+            std::max(t0, bus.freeCycle()) + bus.latencyCycles();
+        const Cycle inflight_done = e->completion;
+        if (isPrefetch(e->type)) {
+            const bool is_cdp = e->type == ReqType::ContentPrefetch;
+            const bool overlap = e->strideOverlap;
+            mshrs.promote(line_pa, 0, vaddr);
+            if (is_cdp) {
+                ++ctr.maskPartialCdp;
+                ++ctr.cdpUseful;
+                adaptive.noteUseful();
+                if (overlap)
+                    ++ctr.cdpUsefulOverlap;
+            } else {
+                ++ctr.maskPartialStride;
+                ++ctr.strideUseful;
+            }
+        } else {
+            // Merge with an in-flight demand (secondary miss).
+        }
+        (void)fresh;
+        const Cycle done = std::max(inflight_done,
+                                    t0 + cfg.mem.l2Latency);
+        loadLatency.sample(static_cast<double>(done - now));
+        return done;
+    }
+
+    // A queued-but-unstarted prefetch for this line is promoted to
+    // the demand's priority and issued right now as the demand.
+    if (l2Arbiter.extractPrefetch(line_va))
+        ++ctr.promotions;
+
+    ++ctr.l2DemandMisses;
+
+    // The Markov prefetcher observes the L2 miss stream but is
+    // blocked whenever the stride prefetcher fired (Section 5).
+    if (markov && !stride_fired) {
+        for (Addr p : markov->observeMiss(pc, vaddr)) {
+            enqueuePrefetch(ReqType::StridePrefetch, p, lineAlign(p), 1,
+                            now);
+        }
+    }
+
+    const Cycle comp = bus.service(t0);
+    MshrEntry e{};
+    e.linePa = line_pa;
+    e.lineVa = line_va;
+    e.vaddr = vaddr;
+    e.type = ReqType::DemandLoad;
+    e.completion = comp;
+    if (mshrs.allocate(e))
+        pendingFills.push({comp, line_pa});
+    loadLatency.sample(static_cast<double>(comp - now));
+    return comp;
+}
+
+Cycle
+MemorySystem::store(Addr pc, Addr vaddr, Cycle now)
+{
+    advance(now);
+
+    if (dl1.lookup(vaddr))
+        return now + 1;
+    ++ctr.l1Misses;
+
+    if (cfg.stride.enabled) {
+        for (Addr p : baselineObserve(pc, vaddr)) {
+            enqueuePrefetch(ReqType::StridePrefetch, p, lineAlign(p), 1,
+                            now);
+        }
+    }
+
+    Cycle extra = 0;
+    const auto pa = translate(vaddr, now, false, &extra);
+    if (!pa)
+        throw std::runtime_error("demand store to unmapped VA");
+    const Addr line_pa = lineAlign(*pa);
+    const Addr line_va = lineAlign(vaddr);
+
+    if (CacheLine *line = ul2.lookup(line_pa)) {
+        if (line->prefetched && !line->everUsed) {
+            if (line->fillType == ReqType::ContentPrefetch) {
+                ++ctr.cdpUseful;
+                adaptive.noteUseful();
+            } else {
+                ++ctr.strideUseful;
+            }
+        }
+        line->everUsed = true;
+        reinforceOnHit(*line, line_pa, 0, vaddr, now);
+        dl1.insert(line_va);
+        return now + 1;
+    }
+
+    if (mshrs.find(line_pa))
+        return now + 1; // merge; store buffer hides the latency
+
+    const Cycle comp = bus.service(now + extra + 1);
+    MshrEntry e{};
+    e.linePa = line_pa;
+    e.lineVa = line_va;
+    e.vaddr = vaddr;
+    e.type = ReqType::DemandStore;
+    e.completion = comp;
+    if (mshrs.allocate(e))
+        pendingFills.push({comp, line_pa});
+    return now + 1;
+}
+
+} // namespace cdp

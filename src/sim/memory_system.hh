@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The full memory system of Figure 6: virtually indexed DL1,
+ * physically indexed UL2, DTLB with hardware page walker, stride
+ * prefetcher on the L1 miss stream, content prefetcher on the UL2
+ * fill stream, optional Markov prefetcher on the UL2 miss stream,
+ * priority arbiters, and the front-side bus.
+ *
+ * MemorySystem implements CoreMemIf: the core calls load()/store()
+ * synchronously and gets back data-ready cycles; background work
+ * (fill completion, fill-content scanning, chained prefetch issue,
+ * prefetch-queue drain) happens in advance(), which the core calls
+ * every cycle (with skip-ahead, so all bookkeeping is elapsed-time
+ * based).
+ *
+ * Modeling notes (documented deviations, see DESIGN.md):
+ *  - the bus is a single server with per-line occupancy, so queueing
+ *    delay emerges from occupancy rather than an explicit slot list;
+ *  - prefetch outstandingness is capped at the bus queue size (32);
+ *    demand misses are bounded by the 48-entry load buffer instead of
+ *    competing for those 32 slots.
+ */
+
+#ifndef CDP_SIM_MEMORY_SYSTEM_HH
+#define CDP_SIM_MEMORY_SYSTEM_HH
+
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "core/adaptive_vam.hh"
+#include "core/content_prefetcher.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/backing_store.hh"
+#include "memsys/bus.hh"
+#include "memsys/cache.hh"
+#include "memsys/mshr.hh"
+#include "memsys/queued_arbiter.hh"
+#include "prefetch/markov_prefetcher.hh"
+#include "prefetch/nextline_prefetcher.hh"
+#include "prefetch/stride_prefetcher.hh"
+#include "sim/config.hh"
+#include "stats/stat.hh"
+#include "vm/page_table.hh"
+#include "vm/page_walker.hh"
+#include "vm/tlb.hh"
+
+namespace cdp
+{
+
+/**
+ * The complete Figure 6 memory hierarchy.
+ */
+class MemorySystem : public CoreMemIf
+{
+  public:
+    MemorySystem(const SimConfig &cfg, BackingStore &store,
+                 PageTable &page_table, StatGroup *stats);
+
+    // CoreMemIf
+    Cycle load(Addr pc, Addr vaddr, Cycle now, bool pointer_load) override;
+    Cycle store(Addr pc, Addr vaddr, Cycle now) override;
+    void advance(Cycle now) override;
+
+    /** Drain every in-flight transaction (end-of-run settling). */
+    void drainAll(Cycle now);
+
+    // Component access for tests and benches.
+    Cache &l1() { return dl1; }
+    Cache &l2() { return ul2; }
+    Tlb &dtlb() { return dataTlb; }
+    ContentPrefetcher &contentPf() { return cdp; }
+    const AdaptiveVamController &adaptiveCtl() const { return adaptive; }
+    StridePrefetcher &stridePf() { return stride; }
+    MarkovPrefetcher *markovPf() { return markov.get(); }
+    const Bus &frontBus() const { return bus; }
+
+    /** Aggregate counters the benches read out. */
+    struct Counters
+    {
+        // Demand-side accounting.
+        std::uint64_t demandLoads = 0;
+        std::uint64_t l1Misses = 0;
+        std::uint64_t l2DemandAccesses = 0;
+        std::uint64_t l2DemandMisses = 0; //!< true misses (fresh fills)
+        // Figure 10 buckets: how demand L2 lookups that would have
+        // missed were (not) masked.
+        std::uint64_t maskFullStride = 0;
+        std::uint64_t maskPartialStride = 0;
+        std::uint64_t maskFullCdp = 0;
+        std::uint64_t maskPartialCdp = 0;
+        // Prefetch accounting per class. strideIssued covers both
+        // history prefetchers (Markov requests share the stride
+        // priority class).
+        std::uint64_t strideIssued = 0;
+        std::uint64_t cdpIssued = 0;
+        std::uint64_t cdpIssuedOverlap = 0; //!< stride also covered it
+        std::uint64_t cdpUsefulOverlap = 0;
+        std::uint64_t strideUseful = 0;
+        std::uint64_t cdpUseful = 0;
+        // Drop reasons.
+        std::uint64_t pfDropL2Hit = 0;
+        std::uint64_t pfDropInflight = 0;
+        std::uint64_t pfDropQueued = 0;
+        std::uint64_t pfDropBusFull = 0;
+        std::uint64_t pfDropUnmapped = 0;
+        std::uint64_t pfDropArbiter = 0;
+        // TLB / walks.
+        std::uint64_t demandWalks = 0;
+        std::uint64_t prefetchWalks = 0;
+        // Reinforcement.
+        std::uint64_t promotions = 0;
+        std::uint64_t rescans = 0;
+        // Pollution study.
+        std::uint64_t pollutionInjected = 0;
+        // Unused prefetched lines evicted (accuracy complement).
+        std::uint64_t prefetchEvictedUnused = 0;
+    };
+
+    const Counters &counters() const { return ctr; }
+
+    /** Zero the counters (end of warm-up). */
+    void resetCounters() { ctr = Counters{}; }
+
+  private:
+    struct PendingFill
+    {
+        Cycle completion;
+        Addr linePa;
+        bool operator>(const PendingFill &o) const
+        {
+            return completion > o.completion;
+        }
+    };
+
+    /**
+     * Charge a timed page walk at @p now.
+     * @return walk latency in cycles, or nullopt on a fault
+     *         (candidate pointing at unmapped memory).
+     */
+    std::optional<Cycle> timedWalk(Addr va, Cycle now, bool speculative);
+
+    /** Translate @p va, walking on a DTLB miss; nullopt on fault. */
+    std::optional<Addr> translate(Addr va, Cycle now, bool speculative,
+                                  Cycle *extra_latency);
+
+    /** Queue a prefetch into the L2 arbiter. */
+    void enqueuePrefetch(ReqType type, Addr vaddr, Addr line_va,
+                         unsigned depth, Cycle now,
+                         bool width_line = false);
+
+    /** Pop prefetches from the L2 arbiter and put them on the bus. */
+    void drainPrefetches(Cycle now);
+
+    /** Issue one drained prefetch; returns false if squashed. */
+    bool issuePrefetch(MemRequest req, Cycle now);
+
+    /** Handle one completed fill (insert + scan + chain). */
+    void completeFill(Addr line_pa, Cycle when);
+
+    /** Scan fill/rescan content and enqueue the resulting requests. */
+    void scanAndEnqueue(Addr line_pa, Addr trigger_ea, unsigned depth,
+                        bool is_rescan, Cycle now);
+
+    /** Reinforcement on an L2 hit (Section 3.4.2). */
+    void reinforceOnHit(CacheLine &line, Addr line_pa, unsigned req_depth,
+                        Addr req_vaddr, Cycle now);
+
+    /** Inject one bad prefetch on an idle bus slot (Section 3.5). */
+    void maybeInjectPollution(Cycle now);
+
+    /** Baseline prefetcher predictions for one observed miss. */
+    std::vector<Addr> baselineObserve(Addr pc, Addr vaddr);
+
+    /** Did the baseline prefetcher recently cover @p line_va? */
+    bool baselineRecentlyIssued(Addr line_va) const;
+
+    const SimConfig cfg;
+    BackingStore &backing;
+    PageTable &pageTable;
+
+    Cache dl1;
+    Cache ul2;
+    Tlb dataTlb;
+    PageWalker walker;
+    StridePrefetcher stride;
+    std::unique_ptr<NextLinePrefetcher> nextline; //!< alt baseline
+    std::unique_ptr<MarkovPrefetcher> markov;
+    ContentPrefetcher cdp;
+    AdaptiveVamController adaptive;
+    Bus bus;
+    QueuedArbiter l2Arbiter;
+    MshrFile mshrs;
+
+    std::priority_queue<PendingFill, std::vector<PendingFill>,
+                        std::greater<>> pendingFills;
+    unsigned prefetchInFlight = 0;
+    Cycle lastDrain = 0;
+    Cycle drainPool = 0; //!< banked L2-arbiter slots (1/cycle)
+    unsigned rescanDebt = 0; //!< rescans consume L2 drain slots
+    ReqId nextReqId = 1;
+    Rng pollutionRng;
+    Addr pollutionSpan = 0; //!< physical span to pick bad lines from
+
+    StatGroup dummyStatGroup; //!< sink when no group is supplied
+    /** Demand-load latency distribution (cycles, log-ish buckets). */
+    Distribution loadLatency;
+    /** Cycles between a content prefetch's fill and its first demand
+     *  touch (timeliness; Figure 10's full-vs-partial split). */
+    Distribution prefetchLead;
+
+    Counters ctr;
+};
+
+} // namespace cdp
+
+#endif // CDP_SIM_MEMORY_SYSTEM_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Top-level simulator: owns the simulated machine (memory, page
+ * table, heap, workload, memory system, core) and runs the paper's
+ * two-phase methodology — warm-up, statistics reset, measurement
+ * (Section 2.2).
+ */
+
+#ifndef CDP_SIM_SIMULATOR_HH
+#define CDP_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "cpu/ooo_core.hh"
+#include "mem/backing_store.hh"
+#include "mem/frame_allocator.hh"
+#include "sim/config.hh"
+#include "sim/memory_system.hh"
+#include "stats/stat.hh"
+#include "vm/page_table.hh"
+#include "workloads/heap_allocator.hh"
+#include "workloads/suite.hh"
+
+namespace cdp
+{
+
+/** Results of one measured simulation phase. */
+struct RunResult
+{
+    std::string workload;
+    Cycle cycles = 0;
+    std::uint64_t uops = 0;
+    double ipc = 0.0;
+    MemorySystem::Counters mem{};
+
+    /** Demand L2 misses per 1000 uops (the paper's MPTU metric). */
+    double
+    mptu() const
+    {
+        return uops ? 1000.0 * static_cast<double>(mem.l2DemandMisses) /
+                          static_cast<double>(uops)
+                    : 0.0;
+    }
+
+    /** Speedup of this run relative to @p baseline. */
+    double
+    speedupOver(const RunResult &baseline) const
+    {
+        return baseline.ipc > 0.0 ? ipc / baseline.ipc : 0.0;
+    }
+};
+
+/**
+ * One fully wired simulated machine.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &cfg);
+
+    /**
+     * Run the standard two-phase experiment: warm up for
+     * cfg.warmupUops, reset statistics, measure cfg.measureUops.
+     */
+    RunResult run();
+
+    /** Execute @p uops without resetting anything (warm-up). */
+    void warmup(std::uint64_t uops);
+
+    /** Reset statistics and measure @p uops. */
+    RunResult measure(std::uint64_t uops);
+
+    /**
+     * Execute @p uops and report just that chunk (used by the Fig. 1
+     * non-cumulative MPTU trace). Counters are *not* reset; the
+     * chunk result is the delta.
+     */
+    RunResult runChunk(std::uint64_t uops);
+
+    const SimConfig &config() const { return cfg; }
+    StatGroup &stats() { return statGroup; }
+    MemorySystem &memory() { return *memsys; }
+    OooCore &core() { return *cpu; }
+    HeapAllocator &heap() { return *heapAlloc; }
+    UopSource &workload() { return *source; }
+
+  private:
+    RunResult snapshotDelta(Cycle cycles, std::uint64_t uops,
+                            const MemorySystem::Counters &before) const;
+
+    SimConfig cfg;
+    StatGroup statGroup;
+    BackingStore store;
+    FrameAllocator frames;
+    PageTable pageTable;
+    std::unique_ptr<HeapAllocator> heapAlloc;
+    std::unique_ptr<UopSource> source;
+    std::unique_ptr<MemorySystem> memsys;
+    std::unique_ptr<OooCore> cpu;
+};
+
+} // namespace cdp
+
+#endif // CDP_SIM_SIMULATOR_HH

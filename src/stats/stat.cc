@@ -1,0 +1,142 @@
+#include "stats/stat.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+namespace cdp
+{
+
+Scalar::Scalar(StatGroup &group, std::string name, std::string desc)
+    : _name(std::move(name)), _desc(std::move(desc))
+{
+    group.add(this);
+}
+
+Distribution::Distribution(StatGroup &group, std::string name,
+                           std::string desc, double lo, double hi,
+                           unsigned nbuckets)
+    : _name(std::move(name)), _desc(std::move(desc)), _lo(lo), _hi(hi),
+      _bucketWidth((hi - lo) / (nbuckets ? nbuckets : 1)),
+      _buckets(nbuckets ? nbuckets : 1, 0),
+      _min(std::numeric_limits<double>::max()),
+      _max(std::numeric_limits<double>::lowest())
+{
+    group.add(this);
+}
+
+void
+Distribution::sample(double v)
+{
+    ++_count;
+    _sum += v;
+    _min = std::min(_min, v);
+    _max = std::max(_max, v);
+    if (v < _lo) {
+        ++_underflow;
+    } else if (v >= _hi) {
+        ++_overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - _lo) / _bucketWidth);
+        if (idx >= _buckets.size())
+            idx = _buckets.size() - 1;
+        ++_buckets[idx];
+    }
+}
+
+void
+Distribution::reset()
+{
+    std::fill(_buckets.begin(), _buckets.end(), 0);
+    _underflow = _overflow = _count = 0;
+    _sum = 0.0;
+    _min = std::numeric_limits<double>::max();
+    _max = std::numeric_limits<double>::lowest();
+}
+
+void
+Distribution::print(std::ostream &os) const
+{
+    os << _name << " count=" << _count;
+    if (_count) {
+        os << " mean=" << mean() << " min=" << _min << " max=" << _max;
+    }
+    os << " buckets=[";
+    for (std::size_t i = 0; i < _buckets.size(); ++i) {
+        if (i)
+            os << ' ';
+        os << _buckets[i];
+    }
+    os << "] under=" << _underflow << " over=" << _overflow;
+}
+
+Formula::Formula(StatGroup &group, std::string name, std::string desc,
+                 std::function<double()> fn)
+    : _name(std::move(name)), _desc(std::move(desc)), _fn(std::move(fn))
+{
+    group.add(this);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto *s : scalars)
+        s->reset();
+    for (auto *d : dists)
+        d->reset();
+    // Formulas hold no state of their own.
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    std::vector<const Scalar *> sorted(scalars.begin(), scalars.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Scalar *a, const Scalar *b) {
+                  return a->name() < b->name();
+              });
+    for (const auto *s : sorted) {
+        os << std::left << std::setw(48) << s->name() << ' '
+           << std::right << std::setw(16) << s->value()
+           << "  # " << s->desc() << '\n';
+    }
+
+    std::vector<const Formula *> fsorted(formulas.begin(), formulas.end());
+    std::sort(fsorted.begin(), fsorted.end(),
+              [](const Formula *a, const Formula *b) {
+                  return a->name() < b->name();
+              });
+    for (const auto *f : fsorted) {
+        os << std::left << std::setw(48) << f->name() << ' '
+           << std::right << std::setw(16) << std::fixed
+           << std::setprecision(6) << f->value()
+           << "  # " << f->desc() << '\n';
+    }
+
+    for (const auto *d : dists) {
+        d->print(os);
+        os << '\n';
+    }
+}
+
+const Scalar *
+StatGroup::findScalar(const std::string &name) const
+{
+    for (const auto *s : scalars) {
+        if (s->name() == name)
+            return s;
+    }
+    return nullptr;
+}
+
+const Formula *
+StatGroup::findFormula(const std::string &name) const
+{
+    for (const auto *f : formulas) {
+        if (f->name() == name)
+            return f;
+    }
+    return nullptr;
+}
+
+} // namespace cdp

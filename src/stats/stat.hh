@@ -1,0 +1,172 @@
+/**
+ * @file
+ * A small gem5-flavoured statistics package.
+ *
+ * Components register named statistics against a StatGroup; the group
+ * can be reset at the end of warm-up (the paper discards everything
+ * before 7.5 M retired uops) and dumped as text at the end of a run.
+ * Three kinds of statistic are provided:
+ *
+ *  - Scalar: a named counter / value.
+ *  - Distribution: a bucketed histogram with mean/min/max.
+ *  - Formula: a value computed from other statistics at dump time
+ *    (e.g. coverage = prefetch_hits / baseline_misses).
+ */
+
+#ifndef CDP_STATS_STAT_HH
+#define CDP_STATS_STAT_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cdp
+{
+
+class StatGroup;
+
+/**
+ * A named 64-bit counter with an optional description. Scalars are
+ * the workhorse statistic: hits, misses, prefetches issued, etc.
+ */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    /** Register this scalar with @p group under @p name. */
+    Scalar(StatGroup &group, std::string name, std::string desc);
+
+    Scalar &operator++() { ++_value; return *this; }
+    Scalar &operator+=(std::uint64_t v) { _value += v; return *this; }
+    void set(std::uint64_t v) { _value = v; }
+    void reset() { _value = 0; }
+
+    std::uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::uint64_t _value = 0;
+};
+
+/**
+ * A fixed-bucket histogram. Samples outside the configured range are
+ * accumulated in underflow/overflow buckets so no sample is lost.
+ */
+class Distribution
+{
+  public:
+    Distribution() = default;
+
+    /**
+     * Register a histogram covering [lo, hi) with @p nbuckets equal
+     * buckets.
+     */
+    Distribution(StatGroup &group, std::string name, std::string desc,
+                 double lo, double hi, unsigned nbuckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    void reset();
+
+    std::uint64_t count() const { return _count; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+    double min() const { return _min; }
+    double max() const { return _max; }
+    const std::vector<std::uint64_t> &buckets() const { return _buckets; }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+    const std::string &name() const { return _name; }
+
+    /** Print "name mean=... [bucket counts]". */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::string _desc;
+    double _lo = 0.0;
+    double _hi = 1.0;
+    double _bucketWidth = 1.0;
+    std::vector<std::uint64_t> _buckets;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+    std::uint64_t _count = 0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/**
+ * A statistic computed on demand from other statistics. The closure
+ * is evaluated at dump()/value() time, so formulas always reflect the
+ * current counter values.
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+    Formula(StatGroup &group, std::string name, std::string desc,
+            std::function<double()> fn);
+
+    double value() const { return _fn ? _fn() : 0.0; }
+    const std::string &name() const { return _name; }
+    const std::string &desc() const { return _desc; }
+
+  private:
+    std::string _name;
+    std::string _desc;
+    std::function<double()> _fn;
+};
+
+/**
+ * Owner of a set of statistics. Components hold a reference to a
+ * StatGroup and construct their stats against it; the simulator owns
+ * the group and resets/dumps it around the measurement phase.
+ *
+ * Registration stores raw pointers, so statistics must outlive the
+ * group or be deregistered by destroying the group first; in this
+ * code base both the group and the stats live inside the same
+ * simulator object, which guarantees the ordering.
+ */
+class StatGroup
+{
+  public:
+    StatGroup() = default;
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void add(Scalar *s) { scalars.push_back(s); }
+    void add(Distribution *d) { dists.push_back(d); }
+    void add(Formula *f) { formulas.push_back(f); }
+
+    /** Zero every resettable statistic (end of warm-up). */
+    void resetAll();
+
+    /** Dump all statistics, sorted by name, to @p os. */
+    void dump(std::ostream &os) const;
+
+    /**
+     * Look up a scalar by name.
+     * @return nullptr when no scalar has that name.
+     */
+    const Scalar *findScalar(const std::string &name) const;
+
+    /** Look up a formula by name; nullptr when absent. */
+    const Formula *findFormula(const std::string &name) const;
+
+  private:
+    std::vector<Scalar *> scalars;
+    std::vector<Distribution *> dists;
+    std::vector<Formula *> formulas;
+};
+
+} // namespace cdp
+
+#endif // CDP_STATS_STAT_HH

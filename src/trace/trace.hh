@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Uop-trace capture and replay.
+ *
+ * The paper drives its simulator from LITs — checkpoints replayed as
+ * instruction streams. This module provides the equivalent facility
+ * for our generated workloads: any UopSource can be captured to a
+ * compact binary trace file and replayed later, byte-for-byte
+ * deterministically, decoupling workload generation from timing
+ * experiments (and letting a tuned uop stream be shared between
+ * machines or attached to a bug report).
+ *
+ * File format (little-endian):
+ *   header: magic "CDPT", u32 version, u64 uop count
+ *   records: one 14-byte record per uop
+ *     u8  type          (UopType)
+ *     u8  flags         (bit0 taken, bit1 pointerLoad)
+ *     i8  src0, src1, dst
+ *     u8  pad
+ *     u32 pc
+ *     u32 vaddr
+ *
+ * Note: a trace captures the *uop stream*, not the memory image; a
+ * replayed trace is only meaningful against the same simulated heap
+ * contents (same workload spec and seed), which the header's
+ * workload tag records.
+ */
+
+#ifndef CDP_TRACE_TRACE_HH
+#define CDP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/uop.hh"
+
+namespace cdp
+{
+
+/** Trace-file magic and version. */
+constexpr std::uint32_t traceMagic = 0x54504443; // "CDPT"
+constexpr std::uint32_t traceVersion = 1;
+
+/**
+ * Writes uops to a trace file.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing.
+     * @param workload_tag workload name + seed recorded in the header
+     * @throw std::runtime_error when the file cannot be opened
+     */
+    TraceWriter(const std::string &path,
+                const std::string &workload_tag);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one uop. */
+    void append(const Uop &u);
+
+    /** Finalize the header (uop count) and close. */
+    void close();
+
+    std::uint64_t count() const { return written; }
+
+  private:
+    void writeHeader();
+
+    std::FILE *file = nullptr;
+    std::string tag;
+    std::uint64_t written = 0;
+    bool closed = false;
+};
+
+/**
+ * Reads a trace file; validates magic/version on open.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Read the next uop.
+     * @return false at end of trace.
+     */
+    bool next(Uop &u);
+
+    std::uint64_t count() const { return total; }
+    const std::string &workloadTag() const { return tag; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::uint64_t total = 0;
+    std::uint64_t consumed = 0;
+    std::string tag;
+};
+
+/**
+ * UopSource replaying a trace file; loops back to the start when the
+ * trace is exhausted (workload streams are conceptually infinite).
+ */
+class TraceSource : public UopSource
+{
+  public:
+    explicit TraceSource(const std::string &path);
+
+    Uop next() override;
+    const char *name() const override { return sourceName.c_str(); }
+
+    /** Times the trace wrapped back to its beginning. */
+    std::uint64_t wraps() const { return wrapCount; }
+
+  private:
+    std::string path;
+    std::string sourceName;
+    std::unique_ptr<TraceReader> reader;
+    std::uint64_t wrapCount = 0;
+};
+
+/**
+ * Pass-through UopSource that captures everything it forwards.
+ */
+class CapturingSource : public UopSource
+{
+  public:
+    CapturingSource(UopSource &inner, const std::string &path,
+                    const std::string &workload_tag);
+
+    Uop next() override;
+    const char *name() const override { return inner.name(); }
+
+    /** Stop capturing and finalize the file. */
+    void finish() { writer.close(); }
+
+    std::uint64_t captured() const { return writer.count(); }
+
+  private:
+    UopSource &inner;
+    TraceWriter writer;
+};
+
+} // namespace cdp
+
+#endif // CDP_TRACE_TRACE_HH

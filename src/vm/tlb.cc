@@ -1,0 +1,95 @@
+#include "vm/tlb.hh"
+
+#include <stdexcept>
+
+namespace cdp
+{
+
+namespace
+{
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Tlb::Tlb(unsigned entries, unsigned ways, StatGroup *stats,
+         const std::string &name)
+    : entries(entries), ways(ways),
+      numSets(ways ? entries / ways : 0),
+      hits(stats ? *stats : dummyGroup, name + ".hits", "TLB hits"),
+      misses(stats ? *stats : dummyGroup, name + ".misses", "TLB misses")
+{
+    if (ways == 0 || entries % ways != 0)
+        throw std::invalid_argument("Tlb: entries must be multiple of ways");
+    if (!isPow2(numSets))
+        throw std::invalid_argument("Tlb: number of sets must be pow2");
+    table.resize(entries);
+}
+
+std::optional<Addr>
+Tlb::lookup(Addr va)
+{
+    const Addr vpn = pageNumber(va);
+    Entry *base = &table[setIndex(vpn) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn) {
+            e.lruStamp = ++stamp;
+            ++hits;
+            return e.framePa;
+        }
+    }
+    ++misses;
+    return std::nullopt;
+}
+
+std::optional<Addr>
+Tlb::probe(Addr va) const
+{
+    const Addr vpn = pageNumber(va);
+    const Entry *base = &table[setIndex(vpn) * ways];
+    for (unsigned w = 0; w < ways; ++w) {
+        const Entry &e = base[w];
+        if (e.valid && e.vpn == vpn)
+            return e.framePa;
+    }
+    return std::nullopt;
+}
+
+void
+Tlb::insert(Addr va, Addr frame_pa)
+{
+    const Addr vpn = pageNumber(va);
+    Entry *base = &table[setIndex(vpn) * ways];
+    Entry *victim = &base[0];
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.vpn == vpn) {
+            victim = &e; // refresh existing entry in place
+            break;
+        }
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.lruStamp < victim->lruStamp)
+            victim = &e;
+    }
+    victim->vpn = vpn;
+    victim->framePa = pageAlign(frame_pa);
+    victim->lruStamp = ++stamp;
+    victim->valid = true;
+}
+
+void
+Tlb::flush()
+{
+    for (auto &e : table)
+        e.valid = false;
+}
+
+} // namespace cdp

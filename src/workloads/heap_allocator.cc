@@ -1,0 +1,101 @@
+#include "workloads/heap_allocator.hh"
+
+#include <stdexcept>
+
+namespace cdp
+{
+
+HeapAllocator::HeapAllocator(BackingStore &store, PageTable &page_table,
+                             FrameAllocator &frames, Addr heap_base,
+                             double align_noise, std::uint64_t seed)
+    : store(store), table(page_table), frames(frames), base(heap_base),
+      top(heap_base), mappedTo(heap_base), alignNoise(align_noise),
+      rng(seed)
+{
+}
+
+Addr
+HeapAllocator::alloc(Addr bytes, Addr align)
+{
+    if (bytes == 0)
+        bytes = 1;
+    if (align == 0 || (align & (align - 1)) != 0)
+        throw std::invalid_argument("HeapAllocator: bad alignment");
+
+    Addr effective_align = align;
+    if (alignNoise > 0.0 && align > 2 && rng.chance(alignNoise))
+        effective_align = 2;
+
+    top = (top + effective_align - 1) & ~(effective_align - 1);
+    const Addr va = top;
+    top += bytes;
+    ensureMapped(va, bytes);
+    return va;
+}
+
+void
+HeapAllocator::ensureMapped(Addr va, Addr bytes)
+{
+    const Addr first = pageAlign(va);
+    const Addr last = pageAlign(va + bytes - 1);
+    for (Addr page = first;; page += pageBytes) {
+        if (page >= mappedTo || !table.translate(page)) {
+            const Addr frame = frames.allocate();
+            table.map(page, frame);
+        }
+        if (page == last)
+            break;
+    }
+    if (last + pageBytes > mappedTo)
+        mappedTo = last + pageBytes;
+}
+
+Addr
+HeapAllocator::translateOrThrow(Addr va) const
+{
+    const auto pa = table.translate(va);
+    if (!pa)
+        throw std::runtime_error("HeapAllocator: unmapped VA");
+    return *pa;
+}
+
+std::uint32_t
+HeapAllocator::read32(Addr va) const
+{
+    if (pageOffset(va) <= pageBytes - 4)
+        return store.read32(translateOrThrow(va));
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(
+                 store.read8(translateOrThrow(va + i)))
+             << (8 * i);
+    }
+    return v;
+}
+
+void
+HeapAllocator::write32(Addr va, std::uint32_t v)
+{
+    if (pageOffset(va) <= pageBytes - 4) {
+        store.write32(translateOrThrow(va), v);
+        return;
+    }
+    for (unsigned i = 0; i < 4; ++i) {
+        store.write8(translateOrThrow(va + i),
+                     static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+}
+
+std::uint8_t
+HeapAllocator::read8(Addr va) const
+{
+    return store.read8(translateOrThrow(va));
+}
+
+void
+HeapAllocator::write8(Addr va, std::uint8_t v)
+{
+    store.write8(translateOrThrow(va), v);
+}
+
+} // namespace cdp

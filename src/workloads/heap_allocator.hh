@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulated heap allocator.
+ *
+ * The VAM heuristic works because "the memory allocation used by
+ * operating systems and runtime systems" hands out heap pointers that
+ * share their high-order bits and are (mostly) 4-byte aligned. This
+ * allocator reproduces that property: a bump allocator over a virtual
+ * heap region starting at a common base, mapping pages on demand
+ * through the two-level page table, with a configurable fraction of
+ * 2-byte-only alignments ("not all compilers align the base address
+ * of each node; this is expected from compilers optimizing for data
+ * footprint", Section 4.1).
+ *
+ * The allocator is also the workloads' window into simulated memory:
+ * read32/write32 translate through the page table and hit the
+ * BackingStore, so structures built here are real bytes the content
+ * prefetcher later scans.
+ */
+
+#ifndef CDP_WORKLOADS_HEAP_ALLOCATOR_HH
+#define CDP_WORKLOADS_HEAP_ALLOCATOR_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/backing_store.hh"
+#include "mem/frame_allocator.hh"
+#include "vm/page_table.hh"
+
+namespace cdp
+{
+
+/** Default base of the simulated heap (upper 8 bits = 0x10). */
+constexpr Addr defaultHeapBase = 0x10000000;
+
+/**
+ * Bump allocator over a demand-mapped virtual heap.
+ */
+class HeapAllocator
+{
+  public:
+    /**
+     * @param align_noise fraction of allocations aligned to 2 bytes
+     *        instead of the requested alignment
+     */
+    HeapAllocator(BackingStore &store, PageTable &page_table,
+                  FrameAllocator &frames,
+                  Addr heap_base = defaultHeapBase,
+                  double align_noise = 0.0,
+                  std::uint64_t seed = 97);
+
+    /**
+     * Allocate @p bytes aligned to @p align (power of two); pages are
+     * mapped on first allocation. Returns the virtual address.
+     */
+    Addr alloc(Addr bytes, Addr align = 4);
+
+    /** Map every page of [va, va+bytes) (idempotent). */
+    void ensureMapped(Addr va, Addr bytes);
+
+    /** Read a 32-bit little-endian word at virtual address @p va. */
+    std::uint32_t read32(Addr va) const;
+
+    /** Write a 32-bit little-endian word at virtual address @p va. */
+    void write32(Addr va, std::uint32_t v);
+
+    /** Read one byte. */
+    std::uint8_t read8(Addr va) const;
+
+    /** Write one byte. */
+    void write8(Addr va, std::uint8_t v);
+
+    Addr heapBase() const { return base; }
+    Addr heapTop() const { return top; }
+    Addr bytesAllocated() const { return top - base; }
+
+    BackingStore &backingStore() { return store; }
+    PageTable &pageTable() { return table; }
+    FrameAllocator &frameAllocator() { return frames; }
+
+  private:
+    Addr translateOrThrow(Addr va) const;
+
+    BackingStore &store;
+    PageTable &table;
+    FrameAllocator &frames;
+    Addr base;
+    Addr top;
+    Addr mappedTo; //!< first unmapped heap address
+    double alignNoise;
+    Rng rng;
+};
+
+} // namespace cdp
+
+#endif // CDP_WORKLOADS_HEAP_ALLOCATOR_HH

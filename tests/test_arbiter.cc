@@ -1,0 +1,177 @@
+/** @file Unit tests for the strict-priority queued arbiter. */
+
+#include <gtest/gtest.h>
+
+#include "memsys/queued_arbiter.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+MemRequest
+req(ReqType type, Addr line_va, unsigned depth = 0)
+{
+    MemRequest r;
+    r.type = type;
+    r.vaddr = line_va;
+    r.lineVa = lineAlign(line_va);
+    r.depth = depth;
+    return r;
+}
+
+} // namespace
+
+TEST(Arbiter, EmptyDequeueReturnsNothing)
+{
+    QueuedArbiter a(4);
+    EXPECT_FALSE(a.dequeue().has_value());
+    EXPECT_TRUE(a.empty());
+}
+
+TEST(Arbiter, FifoWithinClass)
+{
+    QueuedArbiter a(4);
+    a.enqueue(req(ReqType::ContentPrefetch, 0x1000));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x2000));
+    EXPECT_EQ(a.dequeue()->lineVa, 0x1000u);
+    EXPECT_EQ(a.dequeue()->lineVa, 0x2000u);
+}
+
+TEST(Arbiter, StrictPriorityOrdering)
+{
+    QueuedArbiter a(8);
+    a.enqueue(req(ReqType::ContentPrefetch, 0x1000));
+    a.enqueue(req(ReqType::StridePrefetch, 0x2000));
+    a.enqueue(req(ReqType::DemandLoad, 0x3000));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x4000));
+    EXPECT_EQ(a.dequeue()->lineVa, 0x3000u); // demand first
+    EXPECT_EQ(a.dequeue()->lineVa, 0x2000u); // then stride
+    EXPECT_EQ(a.dequeue()->lineVa, 0x1000u); // then content, FIFO
+    EXPECT_EQ(a.dequeue()->lineVa, 0x4000u);
+}
+
+TEST(Arbiter, PageWalkIsDemandClass)
+{
+    QueuedArbiter a(4);
+    a.enqueue(req(ReqType::StridePrefetch, 0x1000));
+    a.enqueue(req(ReqType::PageWalk, 0x2000));
+    EXPECT_EQ(a.dequeue()->lineVa, 0x2000u);
+}
+
+TEST(Arbiter, FullArbiterSquashesPrefetch)
+{
+    QueuedArbiter a(2);
+    EXPECT_EQ(a.enqueue(req(ReqType::ContentPrefetch, 0x1000)),
+              EnqueueResult::Accepted);
+    EXPECT_EQ(a.enqueue(req(ReqType::ContentPrefetch, 0x2000)),
+              EnqueueResult::Accepted);
+    EXPECT_EQ(a.enqueue(req(ReqType::ContentPrefetch, 0x3000)),
+              EnqueueResult::Rejected);
+    EXPECT_EQ(a.rejectedCount(), 1u);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Arbiter, DemandDisplacesLowestPriorityPrefetch)
+{
+    QueuedArbiter a(2);
+    a.enqueue(req(ReqType::StridePrefetch, 0x1000));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x2000));
+    EXPECT_EQ(a.enqueue(req(ReqType::DemandLoad, 0x3000)),
+              EnqueueResult::AcceptedDisplaced);
+    EXPECT_EQ(a.displacedCount(), 1u);
+    // The content prefetch was the sacrifice.
+    EXPECT_EQ(a.dequeue()->lineVa, 0x3000u);
+    EXPECT_EQ(a.dequeue()->lineVa, 0x1000u);
+    EXPECT_FALSE(a.dequeue().has_value());
+}
+
+TEST(Arbiter, NewestContentPrefetchIsSacrificed)
+{
+    QueuedArbiter a(2);
+    a.enqueue(req(ReqType::ContentPrefetch, 0x1000, 1));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x2000, 3));
+    a.enqueue(req(ReqType::DemandLoad, 0x3000));
+    // The most recently queued (deepest, most speculative) content
+    // prefetch is dropped.
+    EXPECT_EQ(a.dequeue()->lineVa, 0x3000u);
+    EXPECT_EQ(a.dequeue()->lineVa, 0x1000u);
+}
+
+TEST(Arbiter, DemandRejectedWhenFullOfDemands)
+{
+    QueuedArbiter a(2);
+    a.enqueue(req(ReqType::DemandLoad, 0x1000));
+    a.enqueue(req(ReqType::DemandLoad, 0x2000));
+    EXPECT_EQ(a.enqueue(req(ReqType::DemandLoad, 0x3000)),
+              EnqueueResult::Rejected);
+}
+
+TEST(Arbiter, ContainsMatchesByVirtualLine)
+{
+    QueuedArbiter a(4);
+    a.enqueue(req(ReqType::ContentPrefetch, 0x1010));
+    EXPECT_TRUE(a.contains(0x1000));
+    EXPECT_TRUE(a.contains(0x103f));
+    EXPECT_FALSE(a.contains(0x1040));
+}
+
+TEST(Arbiter, ExtractPrefetchRemovesAndReturns)
+{
+    QueuedArbiter a(4);
+    a.enqueue(req(ReqType::StridePrefetch, 0x1000));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x2000));
+    const auto got = a.extractPrefetch(0x2000);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->type, ReqType::ContentPrefetch);
+    EXPECT_FALSE(a.contains(0x2000));
+    EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(Arbiter, ExtractPrefetchIgnoresDemands)
+{
+    QueuedArbiter a(4);
+    a.enqueue(req(ReqType::DemandLoad, 0x1000));
+    EXPECT_FALSE(a.extractPrefetch(0x1000).has_value());
+    EXPECT_EQ(a.size(), 1u);
+}
+
+TEST(Arbiter, SizeOfClassReporting)
+{
+    QueuedArbiter a(8);
+    a.enqueue(req(ReqType::DemandLoad, 0x1000));
+    a.enqueue(req(ReqType::StridePrefetch, 0x2000));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x3000));
+    a.enqueue(req(ReqType::ContentPrefetch, 0x4000));
+    EXPECT_EQ(a.sizeOfClass(0), 1u);
+    EXPECT_EQ(a.sizeOfClass(1), 1u);
+    EXPECT_EQ(a.sizeOfClass(2), 2u);
+}
+
+/** Property: under a random request storm, the arbiter never exceeds
+ *  capacity and dequeues strictly by priority. */
+TEST(ArbiterProperty, RandomStormInvariant)
+{
+    QueuedArbiter a(16);
+    const ReqType types[] = {ReqType::DemandLoad,
+                             ReqType::StridePrefetch,
+                             ReqType::ContentPrefetch};
+    unsigned seed = 12345;
+    auto rnd = [&seed] {
+        seed = seed * 1664525u + 1013904223u;
+        return seed >> 16;
+    };
+    for (int i = 0; i < 3000; ++i) {
+        if (rnd() % 3 != 0) {
+            a.enqueue(req(types[rnd() % 3], (rnd() % 1024) * 64));
+            EXPECT_LE(a.size(), 16u);
+        } else {
+            unsigned last_prio = 0;
+            const auto got = a.dequeue();
+            if (got) {
+                EXPECT_GE(got->priority(), last_prio);
+                last_prio = got->priority();
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+/** @file Unit tests for the bus/DRAM timing model. */
+
+#include <gtest/gtest.h>
+
+#include "memsys/bus.hh"
+
+using namespace cdp;
+
+TEST(Bus, IdleServiceTakesFullLatency)
+{
+    Bus bus(460, 60);
+    EXPECT_EQ(bus.service(1000), 1460u);
+}
+
+TEST(Bus, OccupancyDelaysNextTransfer)
+{
+    Bus bus(460, 60);
+    bus.service(1000);               // occupies until 1060
+    EXPECT_EQ(bus.service(1000), 1060u + 460u);
+}
+
+TEST(Bus, IdleGapsDoNotAccumulate)
+{
+    Bus bus(460, 60);
+    bus.service(0);
+    // Long idle gap; next transfer starts immediately at `now`.
+    EXPECT_EQ(bus.service(100000), 100460u);
+}
+
+TEST(Bus, FreeAtTracksOccupancy)
+{
+    Bus bus(460, 60);
+    EXPECT_TRUE(bus.freeAt(0));
+    bus.service(100);
+    EXPECT_FALSE(bus.freeAt(100));
+    EXPECT_FALSE(bus.freeAt(159));
+    EXPECT_TRUE(bus.freeAt(160));
+    EXPECT_EQ(bus.freeCycle(), 160u);
+}
+
+TEST(Bus, BandwidthBound)
+{
+    // N back-to-back transfers serialize at one per occupancy period.
+    Bus bus(460, 60);
+    Cycle last = 0;
+    for (int i = 0; i < 10; ++i)
+        last = bus.service(0);
+    EXPECT_EQ(last, 9u * 60 + 460);
+}
+
+TEST(Bus, StatsCountTransfersAndBusyCycles)
+{
+    Bus bus(460, 60);
+    bus.service(0);
+    bus.service(0);
+    EXPECT_EQ(bus.transferCount(), 2u);
+    EXPECT_EQ(bus.busyCycles(), 120u);
+}
+
+TEST(Bus, ConfigurableTiming)
+{
+    Bus fast(100, 10);
+    EXPECT_EQ(fast.latencyCycles(), 100u);
+    EXPECT_EQ(fast.occupancyCycles(), 10u);
+    EXPECT_EQ(fast.service(0), 100u);
+    EXPECT_EQ(fast.service(0), 110u);
+}
+
+/** Property: completions are monotonically non-decreasing for
+ *  monotone arrivals, and never earlier than arrival + latency. */
+TEST(BusProperty, MonotoneCompletions)
+{
+    Bus bus(460, 60);
+    Cycle now = 0;
+    Cycle prev_completion = 0;
+    unsigned seed = 7;
+    for (int i = 0; i < 1000; ++i) {
+        seed = seed * 1103515245u + 12345u;
+        now += seed % 100;
+        const Cycle done = bus.service(now);
+        EXPECT_GE(done, now + 460);
+        EXPECT_GE(done, prev_completion);
+        prev_completion = done;
+    }
+}

@@ -1,0 +1,194 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "memsys/cache.hh"
+
+using namespace cdp;
+
+TEST(Cache, MissOnEmpty)
+{
+    Cache c(32 * 1024, 8);
+    EXPECT_EQ(c.lookup(0x1000), nullptr);
+    EXPECT_EQ(c.missCount(), 1u);
+}
+
+TEST(Cache, InsertThenHit)
+{
+    Cache c(32 * 1024, 8);
+    c.insert(0x1000);
+    EXPECT_NE(c.lookup(0x1000), nullptr);
+    EXPECT_EQ(c.hitCount(), 1u);
+}
+
+TEST(Cache, HitAnywhereInLine)
+{
+    Cache c(32 * 1024, 8);
+    c.insert(0x1000);
+    EXPECT_NE(c.lookup(0x103f), nullptr);
+    EXPECT_EQ(c.lookup(0x1040), nullptr); // next line
+}
+
+TEST(Cache, GeometryComputed)
+{
+    Cache c(1024 * 1024, 8);
+    EXPECT_EQ(c.numWays(), 8u);
+    EXPECT_EQ(c.numSets(), 1024u * 1024 / 8 / lineBytes);
+    EXPECT_EQ(c.sizeBytes(), 1024u * 1024);
+}
+
+TEST(Cache, SevenWayGeometryOfTheMarkovStudy)
+{
+    Cache c(896 * 1024, 7); // Table 3: 896 KB 7-way UL2
+    EXPECT_EQ(c.numSets(), 2048u);
+}
+
+TEST(Cache, BadGeometryRejected)
+{
+    EXPECT_THROW(Cache(0, 8), std::invalid_argument);
+    EXPECT_THROW(Cache(1000, 8), std::invalid_argument);
+    EXPECT_THROW(Cache(3 * 64 * 8, 8), std::invalid_argument); // 3 sets
+    EXPECT_THROW(Cache(1024, 0), std::invalid_argument);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2 sets, 2 ways. Lines 0x000, 0x080, 0x100 all map to set 0.
+    Cache c(4 * lineBytes, 2);
+    ASSERT_EQ(c.numSets(), 2u);
+    c.insert(0x000);
+    c.insert(0x080);
+    c.lookup(0x000); // refresh
+    Eviction ev;
+    c.insert(0x100, &ev);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0x080u); // LRU victim
+    EXPECT_NE(c.probe(0x000), nullptr);
+    EXPECT_EQ(c.probe(0x080), nullptr);
+}
+
+TEST(Cache, InsertResetsMetadata)
+{
+    Cache c(32 * 1024, 8);
+    CacheLine &l = c.insert(0x2000);
+    l.prefetched = true;
+    l.storedDepth = 3;
+    l.everUsed = true;
+    l.strideOverlap = true;
+    CacheLine &l2 = c.insert(0x2000); // refill in place
+    EXPECT_FALSE(l2.prefetched);
+    EXPECT_EQ(l2.storedDepth, 0u);
+    EXPECT_FALSE(l2.everUsed);
+    EXPECT_FALSE(l2.strideOverlap);
+}
+
+TEST(Cache, RefillSameLineNotCountedAsEviction)
+{
+    Cache c(32 * 1024, 8);
+    c.insert(0x2000);
+    Eviction ev;
+    c.insert(0x2000, &ev);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(c.evictionCount(), 0u);
+}
+
+TEST(Cache, EvictionReportsPrefetchedFlag)
+{
+    Cache c(2 * lineBytes, 2); // one set, two ways
+    CacheLine &l = c.insert(0x000);
+    l.prefetched = true;
+    l.fillType = ReqType::ContentPrefetch;
+    c.insert(0x040);
+    Eviction ev;
+    c.insert(0x080, &ev);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.prefetched);
+    EXPECT_EQ(ev.fillType, ReqType::ContentPrefetch);
+}
+
+TEST(Cache, ProbeDoesNotPerturbLruOrStats)
+{
+    Cache c(2 * lineBytes, 2);
+    c.insert(0x000);
+    c.insert(0x040);
+    // Probing 0x000 must NOT refresh it...
+    (void)c.probe(0x000);
+    EXPECT_EQ(c.hitCount(), 0u);
+    EXPECT_EQ(c.missCount(), 0u);
+    // ...so it is still the LRU victim.
+    Eviction ev;
+    c.insert(0x080, &ev);
+    EXPECT_EQ(ev.lineAddr, 0x000u);
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c(32 * 1024, 8);
+    c.insert(0x3000);
+    c.invalidate(0x3000);
+    EXPECT_EQ(c.probe(0x3000), nullptr);
+}
+
+TEST(Cache, FlushAllEmptiesCache)
+{
+    Cache c(32 * 1024, 8);
+    c.insert(0x1000);
+    c.insert(0x2000);
+    c.flushAll();
+    EXPECT_EQ(c.residentLines(), 0u);
+}
+
+TEST(Cache, StoredDepthSurvivesLookups)
+{
+    Cache c(32 * 1024, 8);
+    CacheLine &l = c.insert(0x4000);
+    l.storedDepth = 2;
+    CacheLine *hit = c.lookup(0x4000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->storedDepth, 2u);
+}
+
+/** Property: a cache never holds more lines than its capacity, and
+ *  an access pattern within one set touches only that set. */
+class CacheGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint64_t, unsigned>>
+{
+};
+
+TEST_P(CacheGeometry, CapacityNeverExceeded)
+{
+    const auto [bytes, ways] = GetParam();
+    Cache c(bytes, ways);
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i)
+        c.insert(lineAlign(static_cast<Addr>(rng.next32())));
+    EXPECT_LE(c.residentLines(), bytes / lineBytes);
+}
+
+TEST_P(CacheGeometry, WorkingSetOfOneSetFitsExactlyWays)
+{
+    const auto [bytes, ways] = GetParam();
+    Cache c(bytes, ways);
+    const Addr set_stride = c.numSets() * lineBytes;
+    // Insert exactly `ways` lines mapping to set 0: all must fit.
+    for (unsigned w = 0; w < ways; ++w)
+        c.insert(w * set_stride);
+    for (unsigned w = 0; w < ways; ++w)
+        EXPECT_NE(c.probe(w * set_stride), nullptr);
+    // One more displaces exactly one.
+    c.insert(ways * set_stride);
+    unsigned resident = 0;
+    for (unsigned w = 0; w <= ways; ++w)
+        resident += c.probe(w * set_stride) ? 1 : 0;
+    EXPECT_EQ(resident, ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_pair(std::uint64_t(32) * 1024, 8u),
+                      std::make_pair(std::uint64_t(1024) * 1024, 8u),
+                      std::make_pair(std::uint64_t(512) * 1024, 8u),
+                      std::make_pair(std::uint64_t(896) * 1024, 7u),
+                      std::make_pair(std::uint64_t(4096) * 1024, 8u),
+                      std::make_pair(std::uint64_t(8) * 1024, 2u)));

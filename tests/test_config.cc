@@ -1,0 +1,133 @@
+/** @file Unit tests for SimConfig parsing and defaults. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace cdp;
+
+TEST(Config, DefaultsMatchTable1)
+{
+    const SimConfig c;
+    EXPECT_EQ(c.core.issueWidth, 3u);
+    EXPECT_EQ(c.core.retireWidth, 3u);
+    EXPECT_EQ(c.core.robEntries, 128u);
+    EXPECT_EQ(c.core.loadBuffer, 48u);
+    EXPECT_EQ(c.core.storeBuffer, 32u);
+    EXPECT_EQ(c.core.mispredictPenalty, 28u);
+    EXPECT_EQ(c.core.bpEntries, 16384u);
+    EXPECT_EQ(c.mem.l1Bytes, 32u * 1024);
+    EXPECT_EQ(c.mem.l1Ways, 8u);
+    EXPECT_EQ(c.mem.l1Latency, 3u);
+    EXPECT_EQ(c.mem.l2Bytes, 1024u * 1024);
+    EXPECT_EQ(c.mem.l2Ways, 8u);
+    EXPECT_EQ(c.mem.l2Latency, 16u);
+    EXPECT_EQ(c.mem.dtlbEntries, 64u);
+    EXPECT_EQ(c.mem.dtlbWays, 4u);
+    EXPECT_EQ(c.mem.busLatency, 460u);
+    EXPECT_EQ(c.mem.busQueueSize, 32u);
+    EXPECT_EQ(c.mem.l2QueueSize, 128u);
+}
+
+TEST(Config, DefaultsMatchBestCdpConfig)
+{
+    const SimConfig c;
+    EXPECT_TRUE(c.cdp.enabled);
+    EXPECT_EQ(c.cdp.vam.compareBits, 8u);
+    EXPECT_EQ(c.cdp.vam.filterBits, 4u);
+    EXPECT_EQ(c.cdp.vam.alignBits, 1u);
+    EXPECT_EQ(c.cdp.vam.scanStep, 2u);
+    EXPECT_EQ(c.cdp.depthThreshold, 3u);
+    EXPECT_EQ(c.cdp.nextLines, 3u);
+    EXPECT_EQ(c.cdp.prevLines, 0u);
+    EXPECT_TRUE(c.cdp.reinforce);
+    EXPECT_TRUE(c.stride.enabled); // baseline always has stride
+    EXPECT_FALSE(c.markov.enabled);
+}
+
+TEST(Config, OverridesApply)
+{
+    SimConfig c;
+    EXPECT_TRUE(c.applyOverride("cdp.depth", "5"));
+    EXPECT_TRUE(c.applyOverride("cdp.next_lines", "1"));
+    EXPECT_TRUE(c.applyOverride("cdp.reinforce", "false"));
+    EXPECT_TRUE(c.applyOverride("mem.l2_kb", "512"));
+    EXPECT_TRUE(c.applyOverride("markov.enabled", "true"));
+    EXPECT_TRUE(c.applyOverride("markov.stab_kb", "128"));
+    EXPECT_TRUE(c.applyOverride("workload", "tpcc-2"));
+    EXPECT_EQ(c.cdp.depthThreshold, 5u);
+    EXPECT_EQ(c.cdp.nextLines, 1u);
+    EXPECT_FALSE(c.cdp.reinforce);
+    EXPECT_EQ(c.mem.l2Bytes, 512u * 1024);
+    EXPECT_TRUE(c.markov.enabled);
+    EXPECT_EQ(c.markov.stabBytes, 128u * 1024);
+    EXPECT_EQ(c.workload, "tpcc-2");
+}
+
+TEST(Config, UnknownKeyReturnsFalse)
+{
+    SimConfig c;
+    EXPECT_FALSE(c.applyOverride("no.such.key", "1"));
+}
+
+TEST(Config, BoolParsingVariants)
+{
+    SimConfig c;
+    for (const char *t : {"1", "true", "on", "yes"}) {
+        c.cdp.enabled = false;
+        c.applyOverride("cdp.enabled", t);
+        EXPECT_TRUE(c.cdp.enabled) << t;
+    }
+    c.applyOverride("cdp.enabled", "0");
+    EXPECT_FALSE(c.cdp.enabled);
+}
+
+TEST(Config, ParseArgsAcceptsKeyValueVector)
+{
+    SimConfig c;
+    const char *argv[] = {"prog", "cdp.depth=9", "seed=42"};
+    c.parseArgs(3, const_cast<char **>(argv));
+    EXPECT_EQ(c.cdp.depthThreshold, 9u);
+    EXPECT_EQ(c.workloadSeed, 42u);
+}
+
+TEST(Config, ParseArgsRejectsMalformed)
+{
+    SimConfig c;
+    const char *bad1[] = {"prog", "cdp.depth"};
+    EXPECT_THROW(c.parseArgs(2, const_cast<char **>(bad1)),
+                 std::invalid_argument);
+    const char *bad2[] = {"prog", "bogus.key=1"};
+    EXPECT_THROW(c.parseArgs(2, const_cast<char **>(bad2)),
+                 std::invalid_argument);
+}
+
+TEST(Config, ScaleRunLength)
+{
+    SimConfig c;
+    c.warmupUops = 1000;
+    c.measureUops = 2000;
+    c.scaleRunLength(2.5);
+    EXPECT_EQ(c.warmupUops, 2500u);
+    EXPECT_EQ(c.measureUops, 5000u);
+    EXPECT_THROW(c.scaleRunLength(0.0), std::invalid_argument);
+}
+
+TEST(Config, ScaleNeverReachesZero)
+{
+    SimConfig c;
+    c.warmupUops = 10;
+    c.measureUops = 10;
+    c.scaleRunLength(0.001);
+    EXPECT_GE(c.warmupUops, 1u);
+    EXPECT_GE(c.measureUops, 1u);
+}
+
+TEST(Config, SummaryMentionsKeyKnobs)
+{
+    SimConfig c;
+    const std::string s = c.summary();
+    EXPECT_NE(s.find("8.4.1.2"), std::string::npos);
+    EXPECT_NE(s.find("p0.n3"), std::string::npos);
+    EXPECT_NE(s.find("ROB 128"), std::string::npos);
+}

@@ -1,0 +1,233 @@
+/** @file
+ * Unit tests for the uop-stream generators: emitted loads must point
+ * at real structure bytes, dependencies must be wired, and mixes
+ * must respect their weights.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/generators.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+struct GenFixture : ::testing::Test
+{
+    BackingStore store;
+    FrameAllocator frames{0, 32768, true, 21};
+    PageTable pt{store, frames};
+    HeapAllocator heap{store, pt, frames};
+    Rng rng{77};
+};
+
+} // namespace
+
+TEST_F(GenFixture, ListGenPointerLoadsFollowTheRealChain)
+{
+    BuiltList list = buildLinkedList(heap, 64, 64, 8, 1, rng);
+    const std::vector<Addr> expect = list.nodes;
+    WalkOptions w;
+    w.payloadLoads = 0;
+    w.aluPerNode = 0;
+    ListTraversalGen gen(heap, std::move(list), 0x1000, 0, w, 5);
+
+    std::vector<Addr> chased;
+    while (chased.size() < 64) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load && u.pointerLoad)
+            chased.push_back(lineAlign(u.vaddr));
+    }
+    for (std::size_t i = 0; i < chased.size(); ++i)
+        EXPECT_EQ(chased[i], lineAlign(expect[i] + 8)) << "hop " << i;
+}
+
+TEST_F(GenFixture, ListGenPointerLoadDependsOnPointerRegister)
+{
+    BuiltList list = buildLinkedList(heap, 16, 64, 8, 1, rng);
+    WalkOptions w;
+    ListTraversalGen gen(heap, std::move(list), 0x1000, 0, w, 5);
+    for (int i = 0; i < 100; ++i) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load && u.pointerLoad) {
+            EXPECT_EQ(u.src0, 0); // reads the pointer register
+            EXPECT_EQ(u.dst, 0);  // and writes it back (the chase)
+        }
+    }
+}
+
+TEST_F(GenFixture, ListGenEmitsPayloadComputeAndBranch)
+{
+    BuiltList list = buildLinkedList(heap, 16, 128, 8, 1, rng);
+    WalkOptions w;
+    w.payloadLoads = 2;
+    w.aluPerNode = 3;
+    ListTraversalGen gen(heap, std::move(list), 0x1000, 0, w, 5);
+    unsigned loads = 0, alus = 0, branches = 0;
+    for (int i = 0; i < 7 * 20; ++i) {
+        switch (gen.next().type) {
+          case UopType::Load: ++loads; break;
+          case UopType::Alu:
+          case UopType::Fp: ++alus; break;
+          case UopType::Branch: ++branches; break;
+          default: break;
+        }
+    }
+    EXPECT_GT(loads, 0u);
+    EXPECT_GT(alus, 0u);
+    EXPECT_GT(branches, 0u);
+    // Per node: 2 payload + 3 compute + 1 pointer load + 1 branch.
+    EXPECT_EQ(loads, 3u * branches);
+}
+
+TEST_F(GenFixture, ListGenPayloadTouchesTrailingLines)
+{
+    // 128-byte nodes: a payload load must land beyond offset 63.
+    BuiltList list = buildLinkedList(heap, 16, 128, 8, 1, rng);
+    const Addr node0 = list.nodes[0];
+    WalkOptions w;
+    w.payloadLoads = 2;
+    ListTraversalGen gen(heap, std::move(list), 0x1000, 0, w, 5);
+    bool trailing = false;
+    for (int i = 0; i < 8; ++i) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load && !u.pointerLoad)
+            trailing |= (u.vaddr >= node0 + 64 && u.vaddr < node0 + 128);
+    }
+    EXPECT_TRUE(trailing);
+}
+
+TEST_F(GenFixture, TreeGenWalksRealChildren)
+{
+    BuiltTree tree = buildBinaryTree(heap, 200, 32, rng);
+    const Addr root = tree.root;
+    const auto left_off = tree.leftOffset;
+    const auto right_off = tree.rightOffset;
+    WalkOptions w;
+    TreeSearchGen gen(heap, std::move(tree), 0x2000, 4, w, 5);
+    // The first pointer load must target one of the root's child
+    // slots.
+    for (int i = 0; i < 10; ++i) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load && u.pointerLoad) {
+            EXPECT_TRUE(u.vaddr == root + left_off ||
+                        u.vaddr == root + right_off);
+            break;
+        }
+    }
+}
+
+TEST_F(GenFixture, HashGenLoadsBucketHeadThenChain)
+{
+    BuiltHash hash = buildHashTable(heap, 16, 100, 32, rng);
+    const Addr arr = hash.bucketArray;
+    WalkOptions w;
+    HashLookupGen gen(heap, std::move(hash), 0x3000, 8, w, 5);
+    bool saw_bucket_load = false;
+    for (int i = 0; i < 50; ++i) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load && u.pointerLoad &&
+            u.vaddr >= arr && u.vaddr < arr + 16 * 4) {
+            saw_bucket_load = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_bucket_load);
+}
+
+TEST_F(GenFixture, StrideGenStridesAndWraps)
+{
+    StrideStreamGen gen(0x10000000, 1024, 64, 0x4000, 12, 1, 5);
+    std::vector<Addr> addrs;
+    while (addrs.size() < 20) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load)
+            addrs.push_back(u.vaddr);
+    }
+    for (int i = 0; i < 15; ++i) {
+        EXPECT_EQ(addrs[i], 0x10000000u + (i * 64) % 1024)
+            << "iteration " << i;
+    }
+}
+
+TEST_F(GenFixture, RandomGenStaysInRegion)
+{
+    RandomAccessGen gen(0x10000000, 4096, 0x5000, 16, 5);
+    for (int i = 0; i < 200; ++i) {
+        const Uop u = gen.next();
+        if (u.type == UopType::Load) {
+            EXPECT_GE(u.vaddr, 0x10000000u);
+            EXPECT_LT(u.vaddr, 0x10001000u);
+        }
+    }
+}
+
+TEST_F(GenFixture, ComputeGenHotLoadsStayInHotRegion)
+{
+    ComputeGen gen(0x6000, 20, 8, 0.0, 0.0, 0x20000000, 8192, 3, 5);
+    unsigned loads = 0, total = 0;
+    for (int i = 0; i < 240; ++i) {
+        const Uop u = gen.next();
+        ++total;
+        if (u.type == UopType::Load) {
+            ++loads;
+            EXPECT_GE(u.vaddr, 0x20000000u);
+            EXPECT_LT(u.vaddr, 0x20002000u);
+        }
+    }
+    // 3 hot loads per 12-uop block.
+    EXPECT_NEAR(static_cast<double>(loads) / total, 0.25, 0.05);
+}
+
+TEST_F(GenFixture, ComputeGenNoHotRegionMeansNoLoads)
+{
+    ComputeGen gen(0x6000, 20, 8, 0.0, 0.0, 0, 0, 3, 5);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_NE(gen.next().type, UopType::Load);
+}
+
+TEST_F(GenFixture, MixGenRespectsWeights)
+{
+    auto a = std::make_unique<ComputeGen>(0x100, 0, 1, 0.0, 0.0, 0, 0,
+                                          0, 5);
+    auto b = std::make_unique<ComputeGen>(0x900, 8, 1, 0.0, 0.0, 0, 0,
+                                          0, 6);
+    MixGen mix("m", 3);
+    mix.add(std::move(a), 0.8);
+    mix.add(std::move(b), 0.2);
+    std::map<bool, unsigned> counts; // keyed by pc < 0x900
+    for (int i = 0; i < 10000; ++i)
+        ++counts[mix.next().pc < 0x900];
+    const double frac_a =
+        static_cast<double>(counts[true]) / 10000.0;
+    EXPECT_NEAR(frac_a, 0.8, 0.05);
+}
+
+TEST_F(GenFixture, MixGenWithNoSourcesThrows)
+{
+    MixGen mix("empty", 1);
+    EXPECT_THROW(mix.next(), std::runtime_error);
+}
+
+TEST_F(GenFixture, GeneratorsAreDeterministicPerSeed)
+{
+    auto make = [&](std::uint64_t seed) {
+        BuiltList l = buildLinkedList(heap, 32, 64, 8, 2, rng);
+        return std::make_unique<ListTraversalGen>(
+            heap, std::move(l), 0x1000, 0, WalkOptions{}, seed);
+    };
+    // Same structure traversal is deterministic given the seed; the
+    // two generators walk different lists but fixed seeds give a
+    // reproducible uop type sequence.
+    auto g1 = make(11);
+    std::vector<UopType> t1, t2;
+    for (int i = 0; i < 50; ++i)
+        t1.push_back(g1->next().type);
+    auto g2 = make(11);
+    for (int i = 0; i < 50; ++i)
+        t2.push_back(g2->next().type);
+    EXPECT_EQ(t1, t2);
+}

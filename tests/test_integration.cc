@@ -1,0 +1,211 @@
+/** @file
+ * End-to-end integration tests: the paper's headline behaviours must
+ * hold on full simulations — CDP speeds up pointer-chasing workloads,
+ * reinforcement beats no-reinforcement at low depth, the prefetcher
+ * stays harmless where it has no opportunity, and the Markov
+ * comparison reproduces Section 5's ordering.
+ *
+ * These tests run real (scaled-down) simulations and take a few
+ * seconds each.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+RunResult
+runConfig(SimConfig c)
+{
+    Simulator sim(c);
+    return sim.run();
+}
+
+SimConfig
+base(const std::string &workload)
+{
+    SimConfig c;
+    c.workload = workload;
+    c.warmupUops = 150'000;
+    c.measureUops = 250'000;
+    return c;
+}
+
+} // namespace
+
+TEST(Integration, CdpSpeedsUpPointerHeavyWorkload)
+{
+    SimConfig off = base("specjbb-vsnet");
+    off.cdp.enabled = false;
+    SimConfig on = base("specjbb-vsnet");
+    const RunResult r_off = runConfig(off);
+    const RunResult r_on = runConfig(on);
+    // The paper's headline: clear speedup on pointer-chasing codes.
+    EXPECT_GT(r_on.speedupOver(r_off), 1.10);
+    // And the speedup comes from masked misses.
+    EXPECT_LT(r_on.mem.l2DemandMisses, r_off.mem.l2DemandMisses);
+    EXPECT_GT(r_on.mem.maskFullCdp + r_on.mem.maskPartialCdp, 100u);
+}
+
+TEST(Integration, CdpHarmlessOnCacheResidentWorkload)
+{
+    SimConfig off = base("proE");
+    off.cdp.enabled = false;
+    SimConfig on = base("proE");
+    const RunResult r_off = runConfig(off);
+    const RunResult r_on = runConfig(on);
+    // Small working set: little to prefetch, but no meltdown either.
+    EXPECT_GT(r_on.speedupOver(r_off), 0.97);
+}
+
+TEST(Integration, ReinforcementBeatsNoReinforcementAtDepth3)
+{
+    // Section 4.2.1: with the depth threshold at 3, reinforcement is
+    // what keeps chains alive.
+    SimConfig nr = base("verilog-gate");
+    nr.cdp.depthThreshold = 3;
+    nr.cdp.reinforce = false;
+    SimConfig reinf = nr;
+    reinf.cdp.reinforce = true;
+    const RunResult r_nr = runConfig(nr);
+    const RunResult r_reinf = runConfig(reinf);
+    EXPECT_GT(r_reinf.ipc, r_nr.ipc * 0.97);
+    EXPECT_GT(r_reinf.mem.rescans, 0u);
+    EXPECT_EQ(r_nr.mem.rescans, 0u);
+}
+
+TEST(Integration, DeeperHelpsWithoutReinforcement)
+{
+    // Figure 9: without reinforcement, larger depth thresholds
+    // perform better (chains die without rescans).
+    SimConfig d3 = base("verilog-gate");
+    d3.cdp.reinforce = false;
+    d3.cdp.depthThreshold = 3;
+    SimConfig d9 = d3;
+    d9.cdp.depthThreshold = 9;
+    const RunResult r3 = runConfig(d3);
+    const RunResult r9 = runConfig(d9);
+    EXPECT_GE(r9.ipc, r3.ipc * 0.97);
+}
+
+TEST(Integration, StrideBaselineAlreadyCoversRegularCode)
+{
+    // On the stride-friendly quake, stride does the heavy lifting:
+    // disabling it must hurt the baseline clearly.
+    SimConfig with_stride = base("quake");
+    with_stride.cdp.enabled = false;
+    SimConfig no_stride = with_stride;
+    no_stride.stride.enabled = false;
+    const RunResult r_s = runConfig(with_stride);
+    const RunResult r_n = runConfig(no_stride);
+    EXPECT_GT(r_s.ipc, r_n.ipc * 1.02);
+    EXPECT_GT(r_s.mem.strideIssued, 100u);
+}
+
+TEST(Integration, AdjustedStatsTrackStrideOverlap)
+{
+    const RunResult r = runConfig(base("quake"));
+    // Some content prefetches overlap stride work on regular code.
+    EXPECT_LE(r.mem.cdpIssuedOverlap, r.mem.cdpIssued);
+    EXPECT_LE(r.mem.cdpUsefulOverlap, r.mem.cdpUseful);
+}
+
+TEST(Integration, MarkovBigBeatsResourceSplitMarkov)
+{
+    // Section 5 / Figure 11 ordering: unbounded STAB with a full
+    // 1-MB UL2 beats a Markov that sacrificed half its UL2.
+    SimConfig split = base("tpcc-2");
+    split.cdp.enabled = false;
+    split.markov.enabled = true;
+    split.markov.stabBytes = 512 * 1024;
+    split.mem.l2Bytes = 512 * 1024;
+    SimConfig big = base("tpcc-2");
+    big.cdp.enabled = false;
+    big.markov.enabled = true;
+    big.markov.stabBytes = 0; // unbounded
+    const RunResult r_split = runConfig(split);
+    const RunResult r_big = runConfig(big);
+    EXPECT_GE(r_big.ipc, r_split.ipc);
+}
+
+TEST(Integration, ContentBeatsMarkovBigOnColdChases)
+{
+    // The content prefetcher needs no training; the Markov prefetcher
+    // cannot predict what it has not seen (compulsory misses).
+    SimConfig markov = base("verilog-gate");
+    markov.cdp.enabled = false;
+    markov.markov.enabled = true;
+    markov.markov.stabBytes = 0;
+    SimConfig content = base("verilog-gate");
+    const RunResult r_m = runConfig(markov);
+    const RunResult r_c = runConfig(content);
+    EXPECT_GT(r_c.ipc, r_m.ipc);
+}
+
+TEST(Integration, PollutionInjectionHurts)
+{
+    // Section 3.5 limit study: injected bad prefetches on idle bus
+    // cycles cost performance.
+    SimConfig clean = base("tpcc-1");
+    clean.cdp.enabled = false;
+    SimConfig dirty = clean;
+    dirty.pollution.enabled = true;
+    const RunResult r_clean = runConfig(clean);
+    const RunResult r_dirty = runConfig(dirty);
+    EXPECT_LT(r_dirty.ipc, r_clean.ipc);
+    EXPECT_GT(r_dirty.mem.pollutionInjected, 1000u);
+}
+
+TEST(Integration, BiggerTlbDoesNotReplaceCdp)
+{
+    // Section 4.2.2: growing the DTLB from 64 to 1024 entries barely
+    // moves the CDP speedup -- TLB prefetching is a minor factor.
+    SimConfig small_off = base("verilog-gate");
+    small_off.cdp.enabled = false;
+    SimConfig small_on = base("verilog-gate");
+    SimConfig big_off = small_off;
+    big_off.mem.dtlbEntries = 1024;
+    SimConfig big_on = small_on;
+    big_on.mem.dtlbEntries = 1024;
+
+    const double sp_small =
+        runConfig(small_on).speedupOver(runConfig(small_off));
+    const double sp_big =
+        runConfig(big_on).speedupOver(runConfig(big_off));
+    EXPECT_GT(sp_small, 1.05);
+    EXPECT_GT(sp_big, 1.05);
+    EXPECT_NEAR(sp_small, sp_big, 0.12);
+}
+
+TEST(Integration, FigureTenBucketsArePlausible)
+{
+    const RunResult r = runConfig(base("verilog-gate"));
+    const auto &m = r.mem;
+    const std::uint64_t would_miss =
+        m.maskFullStride + m.maskPartialStride + m.maskFullCdp +
+        m.maskPartialCdp + m.l2DemandMisses;
+    EXPECT_GT(would_miss, 0u);
+    // CDP masks a visible share of the would-be misses.
+    const double cdp_share =
+        static_cast<double>(m.maskFullCdp + m.maskPartialCdp) /
+        would_miss;
+    EXPECT_GT(cdp_share, 0.2);
+}
+
+TEST(Integration, EveryBenchmarkRunsToCompletion)
+{
+    for (const auto &spec : table2Suite()) {
+        SimConfig c;
+        c.workload = spec.name;
+        c.warmupUops = 10'000;
+        c.measureUops = 30'000;
+        const RunResult r = runConfig(c);
+        EXPECT_GT(r.ipc, 0.0) << spec.name;
+        EXPECT_GE(r.uops, 30'000u) << spec.name;
+        EXPECT_LE(r.uops, 30'002u) << spec.name;
+    }
+}

@@ -1,0 +1,123 @@
+/** @file Unit tests for the MSHR file (in-flight transaction book). */
+
+#include <gtest/gtest.h>
+
+#include "memsys/mshr.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+MshrEntry
+entry(Addr line_pa, ReqType type, unsigned depth = 0)
+{
+    MshrEntry e;
+    e.linePa = line_pa;
+    e.type = type;
+    e.depth = depth;
+    e.completion = 1000;
+    return e;
+}
+
+} // namespace
+
+TEST(Mshr, EmptyFindsNothing)
+{
+    MshrFile m(4);
+    EXPECT_EQ(m.find(0x1000), nullptr);
+}
+
+TEST(Mshr, AllocateThenFind)
+{
+    MshrFile m(4);
+    ASSERT_TRUE(m.allocate(entry(0x1000, ReqType::DemandLoad)));
+    const MshrEntry *e = m.find(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->type, ReqType::DemandLoad);
+}
+
+TEST(Mshr, FindMatchesByLine)
+{
+    MshrFile m(4);
+    m.allocate(entry(0x1000, ReqType::DemandLoad));
+    EXPECT_NE(m.find(0x103f), nullptr); // same line
+    EXPECT_EQ(m.find(0x1040), nullptr); // next line
+}
+
+TEST(Mshr, CapacityEnforced)
+{
+    MshrFile m(2);
+    EXPECT_TRUE(m.allocate(entry(0x0, ReqType::DemandLoad)));
+    EXPECT_TRUE(m.allocate(entry(0x40, ReqType::DemandLoad)));
+    EXPECT_TRUE(m.full());
+    EXPECT_FALSE(m.allocate(entry(0x80, ReqType::DemandLoad)));
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(Mshr, ReleaseFreesSlot)
+{
+    MshrFile m(1);
+    m.allocate(entry(0x0, ReqType::DemandLoad));
+    m.release(0x0);
+    EXPECT_FALSE(m.full());
+    EXPECT_TRUE(m.allocate(entry(0x40, ReqType::DemandLoad)));
+}
+
+TEST(Mshr, PromoteConvertsPrefetchToDemand)
+{
+    MshrFile m(4);
+    m.allocate(entry(0x1000, ReqType::ContentPrefetch, 2));
+    EXPECT_TRUE(m.promote(0x1000, 0, 0x10001004));
+    const MshrEntry *e = m.find(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->type, ReqType::DemandLoad);
+    EXPECT_EQ(e->depth, 0u);
+    EXPECT_EQ(e->vaddr, 0x10001004u);
+    EXPECT_TRUE(e->promoted);
+    EXPECT_EQ(m.promotionCount(), 1u);
+}
+
+TEST(Mshr, PromoteRefusesDemandEntries)
+{
+    MshrFile m(4);
+    m.allocate(entry(0x1000, ReqType::DemandLoad));
+    EXPECT_FALSE(m.promote(0x1000, 0, 0));
+}
+
+TEST(Mshr, PromoteRefusesMissingEntries)
+{
+    MshrFile m(4);
+    EXPECT_FALSE(m.promote(0x2000, 0, 0));
+}
+
+TEST(Mshr, PromotePreservesCompletionTime)
+{
+    MshrFile m(4);
+    MshrEntry e = entry(0x1000, ReqType::StridePrefetch, 1);
+    e.completion = 777;
+    m.allocate(e);
+    m.promote(0x1000, 0, 0);
+    EXPECT_EQ(m.find(0x1000)->completion, 777u);
+}
+
+TEST(Mshr, StatsCountAllocationsAndRejections)
+{
+    MshrFile m(1);
+    m.allocate(entry(0x0, ReqType::DemandLoad));
+    m.allocate(entry(0x40, ReqType::DemandLoad)); // rejected
+    EXPECT_EQ(m.allocationCount(), 1u);
+}
+
+TEST(Mshr, WidthAndOverlapFlagsPreserved)
+{
+    MshrFile m(4);
+    MshrEntry e = entry(0x1000, ReqType::ContentPrefetch, 1);
+    e.widthLine = true;
+    e.strideOverlap = true;
+    m.allocate(e);
+    const MshrEntry *f = m.find(0x1000);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->widthLine);
+    EXPECT_TRUE(f->strideOverlap);
+}

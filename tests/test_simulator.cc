@@ -1,0 +1,135 @@
+/** @file Unit tests for the Simulator driver. */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+SimConfig
+smallConfig(const std::string &workload = "b2c")
+{
+    SimConfig c;
+    c.workload = workload;
+    c.warmupUops = 5'000;
+    c.measureUops = 20'000;
+    return c;
+}
+
+} // namespace
+
+TEST(Simulator, RunsAndReportsBasicNumbers)
+{
+    Simulator sim(smallConfig());
+    const RunResult r = sim.run();
+    EXPECT_EQ(r.workload, "b2c");
+    EXPECT_GE(r.uops, 20'000u);
+    EXPECT_LE(r.uops, 20'002u);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_LE(r.ipc, 3.0); // bounded by issue width
+}
+
+TEST(Simulator, MptuMetric)
+{
+    RunResult r;
+    r.uops = 1000;
+    r.mem.l2DemandMisses = 5;
+    EXPECT_DOUBLE_EQ(r.mptu(), 5.0);
+    r.uops = 0;
+    EXPECT_DOUBLE_EQ(r.mptu(), 0.0);
+}
+
+TEST(Simulator, SpeedupOver)
+{
+    RunResult fast, slow;
+    fast.ipc = 1.2;
+    slow.ipc = 1.0;
+    EXPECT_DOUBLE_EQ(fast.speedupOver(slow), 1.2);
+    slow.ipc = 0.0;
+    EXPECT_DOUBLE_EQ(fast.speedupOver(slow), 0.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    const SimConfig c = smallConfig("specjbb-vsnet");
+    Simulator a(c), b(c);
+    const RunResult ra = a.run();
+    const RunResult rb = b.run();
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.mem.l2DemandMisses, rb.mem.l2DemandMisses);
+    EXPECT_EQ(ra.mem.cdpIssued, rb.mem.cdpIssued);
+}
+
+TEST(Simulator, SeedChangesTheRun)
+{
+    SimConfig c1 = smallConfig("specjbb-vsnet");
+    SimConfig c2 = c1;
+    c2.workloadSeed = 999;
+    Simulator a(c1), b(c2);
+    EXPECT_NE(a.run().cycles, b.run().cycles);
+}
+
+TEST(Simulator, MeasureFollowsWarmupCounters)
+{
+    Simulator sim(smallConfig());
+    sim.warmup(5'000);
+    const RunResult r = sim.measure(10'000);
+    EXPECT_GE(r.uops, 10'000u);
+    EXPECT_LE(r.uops, 10'002u);
+    // Counter deltas, not cumulative totals.
+    EXPECT_LE(r.mem.demandLoads, 10'000u);
+}
+
+TEST(Simulator, RunChunkReportsDeltas)
+{
+    Simulator sim(smallConfig());
+    const RunResult c1 = sim.runChunk(5'000);
+    const RunResult c2 = sim.runChunk(5'000);
+    EXPECT_GE(c1.uops, 5'000u);
+    EXPECT_GE(c2.uops, 5'000u);
+    // Chunks report deltas, not cumulative totals.
+    EXPECT_LE(c1.mem.demandLoads, c1.uops);
+    EXPECT_LE(c2.mem.demandLoads, c2.uops);
+    EXPECT_GT(c1.mem.demandLoads, 0u);
+}
+
+TEST(Simulator, CdpOffMatchesCdpOffBitForBit)
+{
+    // Two identical configs with cdp disabled: identical timing.
+    SimConfig c = smallConfig("verilog-func");
+    c.cdp.enabled = false;
+    Simulator a(c), b(c);
+    EXPECT_EQ(a.run().cycles, b.run().cycles);
+}
+
+TEST(Simulator, WorkloadAccessibleComponents)
+{
+    Simulator sim(smallConfig());
+    EXPECT_EQ(std::string(sim.workload().name()), "b2c");
+    EXPECT_EQ(sim.memory().l2().sizeBytes(), 1024u * 1024);
+    EXPECT_EQ(sim.config().workload, "b2c");
+}
+
+TEST(Simulator, UnknownWorkloadThrows)
+{
+    SimConfig c = smallConfig("not-a-benchmark");
+    EXPECT_THROW(Simulator{c}, std::invalid_argument);
+}
+
+TEST(Simulator, MarkovConfigurationsConstruct)
+{
+    SimConfig c = smallConfig();
+    c.markov.enabled = true;
+    c.markov.stabBytes = 128 * 1024;
+    c.mem.l2Bytes = 896 * 1024;
+    c.mem.l2Ways = 7;
+    c.cdp.enabled = false;
+    Simulator sim(c);
+    const RunResult r = sim.run();
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_NE(sim.memory().markovPf(), nullptr);
+}

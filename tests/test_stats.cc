@@ -1,0 +1,183 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/stat.hh"
+
+using namespace cdp;
+
+TEST(Scalar, StartsAtZero)
+{
+    StatGroup g;
+    Scalar s(g, "s", "d");
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Scalar, IncrementAndAdd)
+{
+    StatGroup g;
+    Scalar s(g, "s", "d");
+    ++s;
+    s += 41;
+    EXPECT_EQ(s.value(), 42u);
+}
+
+TEST(Scalar, SetOverwrites)
+{
+    StatGroup g;
+    Scalar s(g, "s", "d");
+    s += 10;
+    s.set(3);
+    EXPECT_EQ(s.value(), 3u);
+}
+
+TEST(Scalar, ResetZeroes)
+{
+    StatGroup g;
+    Scalar s(g, "s", "d");
+    s += 7;
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Scalar, NameAndDescStored)
+{
+    StatGroup g;
+    Scalar s(g, "core.loads", "demand loads");
+    EXPECT_EQ(s.name(), "core.loads");
+    EXPECT_EQ(s.desc(), "demand loads");
+}
+
+TEST(StatGroup, ResetAllCoversEveryScalar)
+{
+    StatGroup g;
+    Scalar a(g, "a", ""), b(g, "b", "");
+    a += 1;
+    b += 2;
+    g.resetAll();
+    EXPECT_EQ(a.value(), 0u);
+    EXPECT_EQ(b.value(), 0u);
+}
+
+TEST(StatGroup, FindScalarByName)
+{
+    StatGroup g;
+    Scalar a(g, "alpha", ""), b(g, "beta", "");
+    b += 9;
+    const Scalar *f = g.findScalar("beta");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->value(), 9u);
+    EXPECT_EQ(g.findScalar("gamma"), nullptr);
+}
+
+TEST(StatGroup, DumpContainsNamesSorted)
+{
+    StatGroup g;
+    Scalar z(g, "zeta", ""), a(g, "alpha", "");
+    z += 1;
+    std::ostringstream os;
+    g.dump(os);
+    const std::string out = os.str();
+    const auto pos_a = out.find("alpha");
+    const auto pos_z = out.find("zeta");
+    ASSERT_NE(pos_a, std::string::npos);
+    ASSERT_NE(pos_z, std::string::npos);
+    EXPECT_LT(pos_a, pos_z);
+}
+
+TEST(Distribution, CountsMeanMinMax)
+{
+    StatGroup g;
+    Distribution d(g, "d", "", 0.0, 10.0, 10);
+    d.sample(1.0);
+    d.sample(3.0);
+    d.sample(8.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 8.0);
+}
+
+TEST(Distribution, UnderflowOverflowBuckets)
+{
+    StatGroup g;
+    Distribution d(g, "d", "", 0.0, 10.0, 5);
+    d.sample(-1.0);
+    d.sample(10.0); // hi is exclusive
+    d.sample(99.0);
+    EXPECT_EQ(d.underflow(), 1u);
+    EXPECT_EQ(d.overflow(), 2u);
+    EXPECT_EQ(d.count(), 3u);
+}
+
+TEST(Distribution, BucketPlacement)
+{
+    StatGroup g;
+    Distribution d(g, "d", "", 0.0, 10.0, 10);
+    d.sample(0.0);
+    d.sample(0.5);
+    d.sample(9.9);
+    EXPECT_EQ(d.buckets()[0], 2u);
+    EXPECT_EQ(d.buckets()[9], 1u);
+}
+
+TEST(Distribution, ResetClearsEverything)
+{
+    StatGroup g;
+    Distribution d(g, "d", "", 0.0, 1.0, 4);
+    d.sample(0.5);
+    d.sample(5.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.overflow(), 0u);
+    for (auto b : d.buckets())
+        EXPECT_EQ(b, 0u);
+}
+
+TEST(Distribution, PrintMentionsNameAndCount)
+{
+    StatGroup g;
+    Distribution d(g, "lat", "", 0.0, 4.0, 2);
+    d.sample(1.0);
+    std::ostringstream os;
+    d.print(os);
+    EXPECT_NE(os.str().find("lat"), std::string::npos);
+    EXPECT_NE(os.str().find("count=1"), std::string::npos);
+}
+
+TEST(Formula, EvaluatesLazily)
+{
+    StatGroup g;
+    Scalar hits(g, "hits", ""), total(g, "total", "");
+    Formula ratio(g, "ratio", "", [&] {
+        return total.value()
+                   ? static_cast<double>(hits.value()) / total.value()
+                   : 0.0;
+    });
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.0);
+    hits += 3;
+    total += 4;
+    EXPECT_DOUBLE_EQ(ratio.value(), 0.75);
+}
+
+TEST(Formula, FindFormulaByName)
+{
+    StatGroup g;
+    Formula f(g, "f", "", [] { return 1.5; });
+    const Formula *found = g.findFormula("f");
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->value(), 1.5);
+    EXPECT_EQ(g.findFormula("nope"), nullptr);
+}
+
+TEST(Formula, SurvivesGroupReset)
+{
+    StatGroup g;
+    Scalar s(g, "s", "");
+    Formula f(g, "f", "", [&] { return s.value() * 2.0; });
+    s += 5;
+    g.resetAll();
+    EXPECT_DOUBLE_EQ(f.value(), 0.0); // reflects the reset scalar
+}

@@ -1,0 +1,135 @@
+/** @file Unit tests for the Table 2 benchmark suite. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/suite.hh"
+
+using namespace cdp;
+
+TEST(Suite, HasFifteenBenchmarksInPaperOrder)
+{
+    const auto &suite = table2Suite();
+    ASSERT_EQ(suite.size(), 15u);
+    const char *expected[] = {
+        "b2b",          "b2c",          "quake",       "speech",
+        "rc3",          "creation",     "tpcc-1",      "tpcc-2",
+        "tpcc-3",       "tpcc-4",       "verilog-func", "verilog-gate",
+        "proE",         "slsb",         "specjbb-vsnet"};
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(Suite, SuiteColumnsMatchTable2)
+{
+    EXPECT_EQ(findBenchmark("b2b").suite, "Internet");
+    EXPECT_EQ(findBenchmark("quake").suite, "Multimedia");
+    EXPECT_EQ(findBenchmark("speech").suite, "Productivity");
+    EXPECT_EQ(findBenchmark("tpcc-3").suite, "Server");
+    EXPECT_EQ(findBenchmark("verilog-gate").suite, "Workstation");
+    EXPECT_EQ(findBenchmark("specjbb-vsnet").suite, "Runtime");
+}
+
+TEST(Suite, FindBenchmarkThrowsOnUnknown)
+{
+    EXPECT_THROW(findBenchmark("nope"), std::invalid_argument);
+}
+
+TEST(Suite, WeightsArePositiveAndSumNearOne)
+{
+    for (const auto &s : table2Suite()) {
+        const double sum = s.wList + s.wTree + s.wHash + s.wStride +
+                           s.wRandom + s.wCompute;
+        EXPECT_NEAR(sum, 1.0, 0.02) << s.name;
+        EXPECT_GT(s.wCompute, 0.0) << s.name;
+    }
+}
+
+TEST(Suite, WorkingSetsSpanCacheScales)
+{
+    // The suite must contain benchmarks that fit in the 1-MB UL2 and
+    // benchmarks that blow it out, as Table 2's MPTU spread implies.
+    std::uint64_t smallest = ~0ull, largest = 0;
+    for (const auto &s : table2Suite()) {
+        smallest = std::min(smallest, s.workingSetBytes());
+        largest = std::max(largest, s.workingSetBytes());
+    }
+    EXPECT_LT(smallest, 1024u * 1024);
+    EXPECT_GT(largest, 4u * 1024 * 1024);
+}
+
+TEST(Suite, VerilogGateIsTheHeaviest)
+{
+    // Table 2: verilog-gate has by far the highest MPTU; our stand-in
+    // must have the largest pointer-walk weight.
+    const auto &vg = findBenchmark("verilog-gate");
+    for (const auto &s : table2Suite()) {
+        if (s.name != "verilog-gate") {
+            EXPECT_GE(vg.wList + vg.wTree + vg.wHash,
+                      s.wList + s.wTree + s.wHash)
+                << s.name;
+        }
+    }
+}
+
+TEST(Suite, StructureSpecsAreConsistent)
+{
+    for (const auto &s : table2Suite()) {
+        if (s.wList > 0) {
+            EXPECT_GT(s.listNodes, 0u) << s.name;
+        }
+        if (s.wHash > 0) {
+            EXPECT_GT(s.hashNodes, 0u) << s.name;
+            EXPECT_GT(s.hashBuckets, 0u) << s.name;
+            EXPECT_EQ(s.hashBuckets & (s.hashBuckets - 1), 0u)
+                << s.name;
+        }
+        if (s.wTree > 0) {
+            EXPECT_GT(s.treeNodes, 0u) << s.name;
+        }
+        if (s.wStride > 0) {
+            EXPECT_GT(s.strideKB, 0u) << s.name;
+        }
+    }
+}
+
+TEST(Suite, MakeBenchmarkProducesRunnableSource)
+{
+    BackingStore store;
+    FrameAllocator frames{0, 48 * 1024, true, 3};
+    PageTable pt{store, frames};
+    HeapAllocator heap{store, pt, frames};
+    auto src = makeBenchmark(findBenchmark("b2c"), heap, 1);
+    ASSERT_NE(src, nullptr);
+    unsigned loads = 0;
+    for (int i = 0; i < 2000; ++i)
+        loads += src->next().type == UopType::Load ? 1 : 0;
+    EXPECT_GT(loads, 100u); // realistic load density
+}
+
+TEST(Suite, EveryBenchmarkBuildsAndEmits)
+{
+    for (const auto &s : table2Suite()) {
+        BackingStore store;
+        FrameAllocator frames{0, 48 * 1024, true, 3};
+        PageTable pt{store, frames};
+        HeapAllocator heap{store, pt, frames};
+        auto src = makeBenchmark(s, heap, 7);
+        ASSERT_NE(src, nullptr) << s.name;
+        std::set<UopType> kinds;
+        for (int i = 0; i < 3000; ++i)
+            kinds.insert(src->next().type);
+        EXPECT_TRUE(kinds.count(UopType::Load)) << s.name;
+        EXPECT_TRUE(kinds.count(UopType::Branch)) << s.name;
+    }
+}
+
+TEST(Suite, BenchmarkHeapStaysUnder16MBCompareWindow)
+{
+    // With 8 compare bits on a 32-bit address, the prefetchable range
+    // around the heap base is 16 MB; the suite working sets must stay
+    // inside it for VAM to see the whole heap.
+    for (const auto &s : table2Suite())
+        EXPECT_LT(s.workingSetBytes(), 14u * 1024 * 1024) << s.name;
+}

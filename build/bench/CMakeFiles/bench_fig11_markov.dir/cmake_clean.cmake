@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_markov.dir/bench_fig11_markov.cc.o"
+  "CMakeFiles/bench_fig11_markov.dir/bench_fig11_markov.cc.o.d"
+  "bench_fig11_markov"
+  "bench_fig11_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_mptu.dir/bench_fig1_mptu.cc.o"
+  "CMakeFiles/bench_fig1_mptu.dir/bench_fig1_mptu.cc.o.d"
+  "bench_fig1_mptu"
+  "bench_fig1_mptu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_mptu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_compare_filter.dir/bench_fig7_compare_filter.cc.o"
+  "CMakeFiles/bench_fig7_compare_filter.dir/bench_fig7_compare_filter.cc.o.d"
+  "bench_fig7_compare_filter"
+  "bench_fig7_compare_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_compare_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_align_step.dir/bench_fig8_align_step.cc.o"
+  "CMakeFiles/bench_fig8_align_step.dir/bench_fig8_align_step.cc.o.d"
+  "bench_fig8_align_step"
+  "bench_fig8_align_step.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_align_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

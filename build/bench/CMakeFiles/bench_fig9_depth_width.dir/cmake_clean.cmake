@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_depth_width.dir/bench_fig9_depth_width.cc.o"
+  "CMakeFiles/bench_fig9_depth_width.dir/bench_fig9_depth_width.cc.o.d"
+  "bench_fig9_depth_width"
+  "bench_fig9_depth_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_depth_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

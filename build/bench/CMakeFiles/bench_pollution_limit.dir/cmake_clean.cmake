@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pollution_limit.dir/bench_pollution_limit.cc.o"
+  "CMakeFiles/bench_pollution_limit.dir/bench_pollution_limit.cc.o.d"
+  "bench_pollution_limit"
+  "bench_pollution_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pollution_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

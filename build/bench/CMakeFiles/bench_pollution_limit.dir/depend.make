@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_pollution_limit.
+# This may be replaced when dependencies are built.

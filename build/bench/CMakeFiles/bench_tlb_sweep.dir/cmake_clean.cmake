@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tlb_sweep.dir/bench_tlb_sweep.cc.o"
+  "CMakeFiles/bench_tlb_sweep.dir/bench_tlb_sweep.cc.o.d"
+  "bench_tlb_sweep"
+  "bench_tlb_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tlb_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

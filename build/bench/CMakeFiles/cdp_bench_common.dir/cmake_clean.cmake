@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/cdp_bench_common.dir/bench_common.cc.o.d"
+  "libcdp_bench_common.a"
+  "libcdp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

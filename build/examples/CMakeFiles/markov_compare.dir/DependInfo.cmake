@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/markov_compare.cc" "examples/CMakeFiles/markov_compare.dir/markov_compare.cc.o" "gcc" "examples/CMakeFiles/markov_compare.dir/markov_compare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_prefetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

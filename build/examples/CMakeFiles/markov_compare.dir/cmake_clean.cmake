@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/markov_compare.dir/markov_compare.cc.o"
+  "CMakeFiles/markov_compare.dir/markov_compare.cc.o.d"
+  "markov_compare"
+  "markov_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/markov_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_chasing.dir/pointer_chasing.cc.o"
+  "CMakeFiles/pointer_chasing.dir/pointer_chasing.cc.o.d"
+  "pointer_chasing"
+  "pointer_chasing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_chasing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_heuristics.dir/tuning_heuristics.cc.o"
+  "CMakeFiles/tuning_heuristics.dir/tuning_heuristics.cc.o.d"
+  "tuning_heuristics"
+  "tuning_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

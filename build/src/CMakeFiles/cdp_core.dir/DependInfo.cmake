@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_vam.cc" "src/CMakeFiles/cdp_core.dir/core/adaptive_vam.cc.o" "gcc" "src/CMakeFiles/cdp_core.dir/core/adaptive_vam.cc.o.d"
+  "/root/repo/src/core/content_prefetcher.cc" "src/CMakeFiles/cdp_core.dir/core/content_prefetcher.cc.o" "gcc" "src/CMakeFiles/cdp_core.dir/core/content_prefetcher.cc.o.d"
+  "/root/repo/src/core/vam.cc" "src/CMakeFiles/cdp_core.dir/core/vam.cc.o" "gcc" "src/CMakeFiles/cdp_core.dir/core/vam.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_core.dir/core/adaptive_vam.cc.o"
+  "CMakeFiles/cdp_core.dir/core/adaptive_vam.cc.o.d"
+  "CMakeFiles/cdp_core.dir/core/content_prefetcher.cc.o"
+  "CMakeFiles/cdp_core.dir/core/content_prefetcher.cc.o.d"
+  "CMakeFiles/cdp_core.dir/core/vam.cc.o"
+  "CMakeFiles/cdp_core.dir/core/vam.cc.o.d"
+  "libcdp_core.a"
+  "libcdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

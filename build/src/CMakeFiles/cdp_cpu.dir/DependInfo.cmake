@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/gshare.cc" "src/CMakeFiles/cdp_cpu.dir/cpu/gshare.cc.o" "gcc" "src/CMakeFiles/cdp_cpu.dir/cpu/gshare.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/CMakeFiles/cdp_cpu.dir/cpu/ooo_core.cc.o" "gcc" "src/CMakeFiles/cdp_cpu.dir/cpu/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

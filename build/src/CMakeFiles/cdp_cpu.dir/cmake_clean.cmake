@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_cpu.dir/cpu/gshare.cc.o"
+  "CMakeFiles/cdp_cpu.dir/cpu/gshare.cc.o.d"
+  "CMakeFiles/cdp_cpu.dir/cpu/ooo_core.cc.o"
+  "CMakeFiles/cdp_cpu.dir/cpu/ooo_core.cc.o.d"
+  "libcdp_cpu.a"
+  "libcdp_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

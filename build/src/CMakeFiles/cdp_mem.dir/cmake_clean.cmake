@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_mem.dir/mem/backing_store.cc.o"
+  "CMakeFiles/cdp_mem.dir/mem/backing_store.cc.o.d"
+  "CMakeFiles/cdp_mem.dir/mem/frame_allocator.cc.o"
+  "CMakeFiles/cdp_mem.dir/mem/frame_allocator.cc.o.d"
+  "libcdp_mem.a"
+  "libcdp_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

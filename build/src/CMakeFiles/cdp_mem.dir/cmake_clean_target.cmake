@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcdp_mem.a"
+)

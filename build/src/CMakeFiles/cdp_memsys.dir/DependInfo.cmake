@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/bus.cc" "src/CMakeFiles/cdp_memsys.dir/memsys/bus.cc.o" "gcc" "src/CMakeFiles/cdp_memsys.dir/memsys/bus.cc.o.d"
+  "/root/repo/src/memsys/cache.cc" "src/CMakeFiles/cdp_memsys.dir/memsys/cache.cc.o" "gcc" "src/CMakeFiles/cdp_memsys.dir/memsys/cache.cc.o.d"
+  "/root/repo/src/memsys/mshr.cc" "src/CMakeFiles/cdp_memsys.dir/memsys/mshr.cc.o" "gcc" "src/CMakeFiles/cdp_memsys.dir/memsys/mshr.cc.o.d"
+  "/root/repo/src/memsys/queued_arbiter.cc" "src/CMakeFiles/cdp_memsys.dir/memsys/queued_arbiter.cc.o" "gcc" "src/CMakeFiles/cdp_memsys.dir/memsys/queued_arbiter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

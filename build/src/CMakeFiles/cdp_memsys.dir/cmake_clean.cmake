@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_memsys.dir/memsys/bus.cc.o"
+  "CMakeFiles/cdp_memsys.dir/memsys/bus.cc.o.d"
+  "CMakeFiles/cdp_memsys.dir/memsys/cache.cc.o"
+  "CMakeFiles/cdp_memsys.dir/memsys/cache.cc.o.d"
+  "CMakeFiles/cdp_memsys.dir/memsys/mshr.cc.o"
+  "CMakeFiles/cdp_memsys.dir/memsys/mshr.cc.o.d"
+  "CMakeFiles/cdp_memsys.dir/memsys/queued_arbiter.cc.o"
+  "CMakeFiles/cdp_memsys.dir/memsys/queued_arbiter.cc.o.d"
+  "libcdp_memsys.a"
+  "libcdp_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefetch/markov_prefetcher.cc" "src/CMakeFiles/cdp_prefetch.dir/prefetch/markov_prefetcher.cc.o" "gcc" "src/CMakeFiles/cdp_prefetch.dir/prefetch/markov_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/nextline_prefetcher.cc" "src/CMakeFiles/cdp_prefetch.dir/prefetch/nextline_prefetcher.cc.o" "gcc" "src/CMakeFiles/cdp_prefetch.dir/prefetch/nextline_prefetcher.cc.o.d"
+  "/root/repo/src/prefetch/stride_prefetcher.cc" "src/CMakeFiles/cdp_prefetch.dir/prefetch/stride_prefetcher.cc.o" "gcc" "src/CMakeFiles/cdp_prefetch.dir/prefetch/stride_prefetcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

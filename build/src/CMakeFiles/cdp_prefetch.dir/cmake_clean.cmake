@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_prefetch.dir/prefetch/markov_prefetcher.cc.o"
+  "CMakeFiles/cdp_prefetch.dir/prefetch/markov_prefetcher.cc.o.d"
+  "CMakeFiles/cdp_prefetch.dir/prefetch/nextline_prefetcher.cc.o"
+  "CMakeFiles/cdp_prefetch.dir/prefetch/nextline_prefetcher.cc.o.d"
+  "CMakeFiles/cdp_prefetch.dir/prefetch/stride_prefetcher.cc.o"
+  "CMakeFiles/cdp_prefetch.dir/prefetch/stride_prefetcher.cc.o.d"
+  "libcdp_prefetch.a"
+  "libcdp_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_sim.dir/sim/config.cc.o"
+  "CMakeFiles/cdp_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/cdp_sim.dir/sim/memory_system.cc.o"
+  "CMakeFiles/cdp_sim.dir/sim/memory_system.cc.o.d"
+  "CMakeFiles/cdp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/cdp_sim.dir/sim/simulator.cc.o.d"
+  "libcdp_sim.a"
+  "libcdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_stats.dir/stats/stat.cc.o"
+  "CMakeFiles/cdp_stats.dir/stats/stat.cc.o.d"
+  "libcdp_stats.a"
+  "libcdp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/cdp_trace.dir/trace/trace.cc.o.d"
+  "libcdp_trace.a"
+  "libcdp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

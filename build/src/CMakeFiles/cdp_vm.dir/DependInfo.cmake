@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/page_table.cc" "src/CMakeFiles/cdp_vm.dir/vm/page_table.cc.o" "gcc" "src/CMakeFiles/cdp_vm.dir/vm/page_table.cc.o.d"
+  "/root/repo/src/vm/page_walker.cc" "src/CMakeFiles/cdp_vm.dir/vm/page_walker.cc.o" "gcc" "src/CMakeFiles/cdp_vm.dir/vm/page_walker.cc.o.d"
+  "/root/repo/src/vm/tlb.cc" "src/CMakeFiles/cdp_vm.dir/vm/tlb.cc.o" "gcc" "src/CMakeFiles/cdp_vm.dir/vm/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_vm.dir/vm/page_table.cc.o"
+  "CMakeFiles/cdp_vm.dir/vm/page_table.cc.o.d"
+  "CMakeFiles/cdp_vm.dir/vm/page_walker.cc.o"
+  "CMakeFiles/cdp_vm.dir/vm/page_walker.cc.o.d"
+  "CMakeFiles/cdp_vm.dir/vm/tlb.cc.o"
+  "CMakeFiles/cdp_vm.dir/vm/tlb.cc.o.d"
+  "libcdp_vm.a"
+  "libcdp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

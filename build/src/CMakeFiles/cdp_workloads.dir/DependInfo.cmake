@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builders.cc" "src/CMakeFiles/cdp_workloads.dir/workloads/builders.cc.o" "gcc" "src/CMakeFiles/cdp_workloads.dir/workloads/builders.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/cdp_workloads.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/cdp_workloads.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/heap_allocator.cc" "src/CMakeFiles/cdp_workloads.dir/workloads/heap_allocator.cc.o" "gcc" "src/CMakeFiles/cdp_workloads.dir/workloads/heap_allocator.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/cdp_workloads.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/cdp_workloads.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdp_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/cdp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

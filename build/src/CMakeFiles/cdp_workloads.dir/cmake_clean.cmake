@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdp_workloads.dir/workloads/builders.cc.o"
+  "CMakeFiles/cdp_workloads.dir/workloads/builders.cc.o.d"
+  "CMakeFiles/cdp_workloads.dir/workloads/generators.cc.o"
+  "CMakeFiles/cdp_workloads.dir/workloads/generators.cc.o.d"
+  "CMakeFiles/cdp_workloads.dir/workloads/heap_allocator.cc.o"
+  "CMakeFiles/cdp_workloads.dir/workloads/heap_allocator.cc.o.d"
+  "CMakeFiles/cdp_workloads.dir/workloads/suite.cc.o"
+  "CMakeFiles/cdp_workloads.dir/workloads/suite.cc.o.d"
+  "libcdp_workloads.a"
+  "libcdp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_vam.dir/test_adaptive_vam.cc.o"
+  "CMakeFiles/test_adaptive_vam.dir/test_adaptive_vam.cc.o.d"
+  "test_adaptive_vam"
+  "test_adaptive_vam.pdb"
+  "test_adaptive_vam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_vam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backing_store.dir/test_backing_store.cc.o"
+  "CMakeFiles/test_backing_store.dir/test_backing_store.cc.o.d"
+  "test_backing_store"
+  "test_backing_store.pdb"
+  "test_backing_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backing_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

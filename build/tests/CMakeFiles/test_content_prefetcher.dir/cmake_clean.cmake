@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_content_prefetcher.dir/test_content_prefetcher.cc.o"
+  "CMakeFiles/test_content_prefetcher.dir/test_content_prefetcher.cc.o.d"
+  "test_content_prefetcher"
+  "test_content_prefetcher.pdb"
+  "test_content_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_content_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

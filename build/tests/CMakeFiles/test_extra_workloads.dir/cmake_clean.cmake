@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extra_workloads.dir/test_extra_workloads.cc.o"
+  "CMakeFiles/test_extra_workloads.dir/test_extra_workloads.cc.o.d"
+  "test_extra_workloads"
+  "test_extra_workloads.pdb"
+  "test_extra_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frame_allocator.dir/test_frame_allocator.cc.o"
+  "CMakeFiles/test_frame_allocator.dir/test_frame_allocator.cc.o.d"
+  "test_frame_allocator"
+  "test_frame_allocator.pdb"
+  "test_frame_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frame_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

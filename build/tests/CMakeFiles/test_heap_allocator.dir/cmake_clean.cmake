@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap_allocator.dir/test_heap_allocator.cc.o"
+  "CMakeFiles/test_heap_allocator.dir/test_heap_allocator.cc.o.d"
+  "test_heap_allocator"
+  "test_heap_allocator.pdb"
+  "test_heap_allocator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov_prefetcher.dir/test_markov_prefetcher.cc.o"
+  "CMakeFiles/test_markov_prefetcher.dir/test_markov_prefetcher.cc.o.d"
+  "test_markov_prefetcher"
+  "test_markov_prefetcher.pdb"
+  "test_markov_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

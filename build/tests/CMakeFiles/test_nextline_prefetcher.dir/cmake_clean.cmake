@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nextline_prefetcher.dir/test_nextline_prefetcher.cc.o"
+  "CMakeFiles/test_nextline_prefetcher.dir/test_nextline_prefetcher.cc.o.d"
+  "test_nextline_prefetcher"
+  "test_nextline_prefetcher.pdb"
+  "test_nextline_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nextline_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_walker.dir/test_page_walker.cc.o"
+  "CMakeFiles/test_page_walker.dir/test_page_walker.cc.o.d"
+  "test_page_walker"
+  "test_page_walker.pdb"
+  "test_page_walker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stride_prefetcher.dir/test_stride_prefetcher.cc.o"
+  "CMakeFiles/test_stride_prefetcher.dir/test_stride_prefetcher.cc.o.d"
+  "test_stride_prefetcher"
+  "test_stride_prefetcher.pdb"
+  "test_stride_prefetcher[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stride_prefetcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

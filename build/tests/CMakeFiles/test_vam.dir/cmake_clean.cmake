@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vam.dir/test_vam.cc.o"
+  "CMakeFiles/test_vam.dir/test_vam.cc.o.d"
+  "test_vam"
+  "test_vam.pdb"
+  "test_vam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

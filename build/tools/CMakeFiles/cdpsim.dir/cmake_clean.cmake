@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdpsim.dir/cdpsim.cc.o"
+  "CMakeFiles/cdpsim.dir/cdpsim.cc.o.d"
+  "cdpsim"
+  "cdpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

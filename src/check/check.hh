@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Compile-time-gated simulation invariant checking.
+ *
+ * The simulator's correctness rests on structural invariants the
+ * paper relies on but that no single unit test can guard globally:
+ * bounded per-line depth tags (Section 3.4.2), MSHR merge/promotion
+ * lifecycle legality (Section 3.5), and strict demand > stride >
+ * content arbitration. `CDP_CHECK` / `CDP_CHECK_MSG` verify such
+ * invariants at their hook points and abort with a diagnostic dump of
+ * the offending component's state.
+ *
+ * The checks compile to nothing unless the build defines
+ * `CDP_ENABLE_CHECKS` (CMake option of the same name), so release
+ * builds pay zero cost. Heavier whole-structure audits live in
+ * check/invariants.hh and are invoked from the same gated hook
+ * points.
+ *
+ * This header is dependency-free on purpose: any layer, including
+ * common/types.hh, may include it without creating a link or include
+ * cycle.
+ */
+
+#ifndef CDP_CHECK_CHECK_HH
+#define CDP_CHECK_CHECK_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace cdp
+{
+namespace check
+{
+
+/**
+ * Report an invariant violation and abort. @p dump is the offending
+ * component's state, rendered by the caller (empty when there is no
+ * component context).
+ */
+[[noreturn]] inline void
+fail(const char *file, int line, const char *expr,
+     const std::string &dump)
+{
+    std::fprintf(stderr,
+                 "\n=== CDP invariant violation ===\n"
+                 "check:    %s\n"
+                 "location: %s:%d\n",
+                 expr, file, line);
+    if (!dump.empty())
+        std::fprintf(stderr, "state:\n%s\n", dump.c_str());
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace check
+} // namespace cdp
+
+#ifdef CDP_ENABLE_CHECKS
+
+/** Abort with a diagnostic when @p cond is false (checked builds). */
+#define CDP_CHECK(cond)                                                 \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::cdp::check::fail(__FILE__, __LINE__, #cond,               \
+                               std::string());                          \
+    } while (false)
+
+/**
+ * Abort when @p cond is false, printing @p dump (a std::string
+ * expression, evaluated only on failure) as the component state.
+ */
+#define CDP_CHECK_MSG(cond, dump)                                       \
+    do {                                                                \
+        if (!(cond))                                                    \
+            ::cdp::check::fail(__FILE__, __LINE__, #cond, (dump));      \
+    } while (false)
+
+/** True when invariant checking is compiled in. */
+#define CDP_CHECKS_ENABLED 1
+
+#else // !CDP_ENABLE_CHECKS
+
+// sizeof keeps the condition/dump expressions syntactically checked
+// (and their operands "used") without evaluating them at runtime.
+#define CDP_CHECK(cond) ((void)sizeof(!(cond)))
+#define CDP_CHECK_MSG(cond, dump) ((void)sizeof(!(cond)))
+
+#define CDP_CHECKS_ENABLED 0
+
+#endif // CDP_ENABLE_CHECKS
+
+#endif // CDP_CHECK_CHECK_HH

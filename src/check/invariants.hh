@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Whole-structure invariant audits for the simulator's core
+ * components, plus the state-dump helpers their failure diagnostics
+ * (and the fault-injection tests) use.
+ *
+ * Each `audit*` function walks one component and aborts through
+ * CDP_CHECK_MSG on the first violated invariant, printing a dump of
+ * the offending state. With CDP_ENABLE_CHECKS off the contained
+ * checks compile to nothing, so the audits reduce to harmless walks;
+ * their call sites (MemorySystem::checkInvariants and the gated hook
+ * points) are additionally compiled out, so release builds never pay
+ * for them.
+ *
+ * The invariants encoded here, and the paper sections they come from,
+ * are enumerated in DESIGN.md ("Invariants").
+ */
+
+#ifndef CDP_CHECK_INVARIANTS_HH
+#define CDP_CHECK_INVARIANTS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "check/check.hh"
+#include "memsys/cache.hh"
+#include "memsys/mshr.hh"
+#include "memsys/queued_arbiter.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace cdp
+{
+namespace check
+{
+
+/**
+ * Audit a cache: tag alignment and set residency, tag uniqueness per
+ * set, LRU-stamp consistency (every valid stamp <= the cache's global
+ * stamp, stamps distinct within a set), and depth tags bounded by
+ * @p max_depth (Section 3.4.2's request-depth threshold).
+ */
+void auditCache(const Cache &c, unsigned max_depth, const char *who);
+
+/**
+ * Audit the MSHR file: occupancy within capacity (no leaked
+ * entries), key/address agreement, merge/promotion state legality (a
+ * promoted entry must have left the prefetch class and vice versa),
+ * width-line provenance, and content-chain depth bounds.
+ */
+void auditMshr(const MshrFile &m, unsigned content_depth_max,
+               const char *who);
+
+/**
+ * Audit an arbiter: queue conservation (every request ever accepted
+ * was issued, displaced, extracted, or is still resident — the
+ * drop/squash paths all carry a stat) and strict class ordering
+ * (every resident request sits in the queue of its own priority;
+ * Section 3.5's demand > stride > content order).
+ */
+void auditArbiter(const QueuedArbiter &a, const char *who);
+
+/**
+ * Audit the TLB against the page table: every valid entry must be
+ * backed by a live page-table mapping translating to the same frame.
+ */
+void auditTlb(const Tlb &t, const PageTable &pt, const char *who);
+
+/** MSHR entries currently in the prefetch lifecycle (prefetch-class
+ *  or demand-promoted); MemorySystem checks its in-flight counter
+ *  against this. */
+std::size_t prefetchEntryCount(const MshrFile &m);
+
+// State-dump helpers (always compiled; evaluated lazily on failure).
+std::string dumpCacheSet(const Cache &c, unsigned set, const char *who);
+std::string dumpMshr(const MshrFile &m, const char *who);
+std::string dumpArbiter(const QueuedArbiter &a, const char *who);
+std::string dumpTlb(const Tlb &t, const char *who);
+
+} // namespace check
+} // namespace cdp
+
+#endif // CDP_CHECK_INVARIANTS_HH

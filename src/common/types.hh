@@ -14,6 +14,8 @@
 
 #include <cstdint>
 
+#include "check/check.hh"
+
 namespace cdp
 {
 
@@ -74,6 +76,33 @@ constexpr Addr
 pageOffset(Addr a)
 {
     return a & (pageBytes - 1);
+}
+
+/**
+ * Elapsed cycles from @p then to @p now.
+ *
+ * Cycle is unsigned, so a reversed subtraction silently yields an
+ * astronomically large latency instead of a crash — the classic
+ * simulator timing bug. All Cycle differences in the tree go through
+ * this helper (enforced by tools/lint_sim.py); under
+ * CDP_ENABLE_CHECKS a non-monotonic pair aborts.
+ */
+inline Cycle
+cyclesSince(Cycle now, Cycle then)
+{
+    CDP_CHECK(now >= then);
+    return now - then; // lint-ok: cycle-arith (the helper itself)
+}
+
+/**
+ * Cycles remaining until @p deadline as seen from @p now; the checked
+ * dual of cyclesSince for forward-looking waits.
+ */
+inline Cycle
+cyclesUntil(Cycle deadline, Cycle now)
+{
+    CDP_CHECK(deadline >= now);
+    return deadline - now; // lint-ok: cycle-arith (the helper itself)
 }
 
 } // namespace cdp

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.hh"
+
 namespace cdp
 {
 
@@ -113,6 +115,15 @@ Cache::insert(Addr addr, Eviction *evicted)
     victim->fillCycle = 0;
     victim->everUsed = false;
     victim->strideOverlap = false;
+
+#if CDP_CHECKS_ENABLED
+    // Tag uniqueness per set: a fill must never leave two ways
+    // claiming the same line.
+    unsigned copies = 0;
+    for (unsigned w = 0; w < ways; ++w)
+        copies += (base[w].valid && base[w].tag == la) ? 1 : 0;
+    CDP_CHECK(copies == 1);
+#endif
     return *victim;
 }
 

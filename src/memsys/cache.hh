@@ -28,6 +28,8 @@
 namespace cdp
 {
 
+namespace check { struct Access; }
+
 /** Metadata for one resident cache line. */
 struct CacheLine
 {
@@ -118,6 +120,8 @@ class Cache
     std::uint64_t evictionCount() const { return evictions.value(); }
 
   private:
+    friend struct check::Access;
+
     unsigned setIndex(Addr line_addr) const
     {
         return (line_addr >> lineShift) & (sets - 1);

@@ -1,5 +1,7 @@
 #include "memsys/mshr.hh"
 
+#include "check/check.hh"
+
 namespace cdp
 {
 
@@ -32,10 +34,17 @@ MshrFile::find(Addr line_pa) const
 bool
 MshrFile::allocate(const MshrEntry &e)
 {
+    CDP_CHECK(e.linePa == lineAlign(e.linePa));
+    CDP_CHECK(!(e.promoted && isPrefetch(e.type)));
     if (entries.size() >= capacity) {
         ++rejections;
         return false;
     }
+    // Callers must merge with (or drop against) an existing in-flight
+    // fill before allocating; silently overwriting one would leak its
+    // lifecycle (the pending fill event would complete a different
+    // transaction than the one that scheduled it).
+    CDP_CHECK(entries.find(lineAlign(e.linePa)) == entries.end());
     entries[lineAlign(e.linePa)] = e;
     ++allocations;
     return true;
@@ -44,7 +53,11 @@ MshrFile::allocate(const MshrEntry &e)
 void
 MshrFile::release(Addr line_pa)
 {
-    entries.erase(lineAlign(line_pa));
+    [[maybe_unused]] const auto erased =
+        entries.erase(lineAlign(line_pa));
+    // Releasing a non-resident entry means the caller's lifecycle
+    // bookkeeping (issued -> in-flight -> filled) double-retired.
+    CDP_CHECK(erased == 1);
 }
 
 bool

@@ -26,6 +26,8 @@
 namespace cdp
 {
 
+namespace check { struct Access; }
+
 /** One in-flight line fill. */
 struct MshrEntry
 {
@@ -90,6 +92,8 @@ class MshrFile
     std::uint64_t promotionCount() const { return promotions.value(); }
 
   private:
+    friend struct check::Access;
+
     unsigned capacity;
     std::unordered_map<Addr, MshrEntry> entries;
 

@@ -1,5 +1,7 @@
 #include "memsys/queued_arbiter.hh"
 
+#include "check/check.hh"
+
 namespace cdp
 {
 
@@ -11,7 +13,9 @@ QueuedArbiter::QueuedArbiter(unsigned capacity, StatGroup *stats,
       rejected(stats ? *stats : dummyGroup, name + ".rejected",
                "requests squashed because the arbiter was full"),
       displaced(stats ? *stats : dummyGroup, name + ".displaced",
-                "prefetches dropped to admit a demand request")
+                "prefetches dropped to admit a demand request"),
+      issued(stats ? *stats : dummyGroup, name + ".issued",
+             "requests handed to the drain logic")
 {
 }
 
@@ -27,6 +31,7 @@ QueuedArbiter::dropLowestPrefetch()
             q.pop_back();
             --total;
             ++displaced;
+            ++droppedCount;
             return true;
         }
     }
@@ -37,19 +42,25 @@ EnqueueResult
 QueuedArbiter::enqueue(const MemRequest &req)
 {
     const unsigned prio = req.priority();
+    CDP_CHECK(prio < numPriorities);
+    CDP_CHECK(req.lineVa == lineAlign(req.lineVa));
     if (total >= capacity) {
         if (prio == 0 && dropLowestPrefetch()) {
             queues[prio].push_back(req);
             ++total;
             ++accepted;
+            ++enqueuedCount;
             return EnqueueResult::AcceptedDisplaced;
         }
         ++rejected;
+        ++droppedCount;
+        ++enqueuedCount;
         return EnqueueResult::Rejected;
     }
     queues[prio].push_back(req);
     ++total;
     ++accepted;
+    ++enqueuedCount;
     return EnqueueResult::Accepted;
 }
 
@@ -58,6 +69,12 @@ QueuedArbiter::requeueFront(const MemRequest &req)
 {
     queues[req.priority()].push_front(req);
     ++total;
+    // The request re-enters the resident population, reversing its
+    // earlier dequeue in the conservation ledger.
+    CDP_CHECK(issuedCount > 0);
+    --issuedCount;
+    if (issued.value() > 0)
+        issued.set(issued.value() - 1);
 }
 
 std::optional<MemRequest>
@@ -69,9 +86,13 @@ QueuedArbiter::dequeue()
             MemRequest r = q.front();
             q.pop_front();
             --total;
+            ++issuedCount;
+            ++issued;
+            CDP_CHECK(r.priority() == p);
             return r;
         }
     }
+    CDP_CHECK(total == 0);
     return std::nullopt;
 }
 
@@ -99,6 +120,8 @@ QueuedArbiter::extractPrefetch(Addr line_va)
                 MemRequest r = *it;
                 q.erase(it);
                 --total;
+                ++extractedCount;
+                CDP_CHECK(isPrefetch(r.type));
                 return r;
             }
         }

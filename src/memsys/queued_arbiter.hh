@@ -30,6 +30,8 @@
 namespace cdp
 {
 
+namespace check { struct Access; }
+
 /** Outcome of an enqueue attempt. */
 enum class EnqueueResult
 {
@@ -82,8 +84,11 @@ class QueuedArbiter
 
     std::uint64_t displacedCount() const { return displaced.value(); }
     std::uint64_t rejectedCount() const { return rejected.value(); }
+    std::uint64_t issuedCountStat() const { return issued.value(); }
 
   private:
+    friend struct check::Access;
+
     /** Drop the lowest-priority resident prefetch; false if none. */
     bool dropLowestPrefetch();
 
@@ -91,10 +96,23 @@ class QueuedArbiter
     std::deque<MemRequest> queues[numPriorities];
     std::size_t total = 0;
 
+    /**
+     * Lifetime conservation ledger, deliberately separate from the
+     * resettable Scalars below (statistics are zeroed at the end of
+     * warm-up while requests may still be resident, so the stats
+     * cannot balance). Invariant (auditArbiter): enqueuedCount ==
+     * issuedCount + droppedCount + extractedCount + size().
+     */
+    std::uint64_t enqueuedCount = 0;
+    std::uint64_t issuedCount = 0;
+    std::uint64_t droppedCount = 0;  //!< rejected + displaced
+    std::uint64_t extractedCount = 0;
+
     StatGroup dummyGroup;
     Scalar accepted;
     Scalar rejected;
     Scalar displaced;
+    Scalar issued;
 };
 
 } // namespace cdp

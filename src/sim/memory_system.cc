@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "check/access.hh"
+#include "check/check.hh"
+#include "check/invariants.hh"
 
 namespace cdp
 {
@@ -70,6 +75,51 @@ MemorySystem::advance(Cycle now)
     }
     if (cfg.pollution.enabled)
         maybeInjectPollution(now);
+
+#if CDP_CHECKS_ENABLED
+    // Full-structure audits are O(cache size); pace them so checked
+    // builds stay usable while still catching corruption quickly.
+    if ((++checkTick & 0x3ff) == 0)
+        checkInvariants();
+#endif
+}
+
+void
+MemorySystem::checkInvariants() const
+{
+#if CDP_CHECKS_ENABLED
+    // Depth tags (Section 3.4.2): content chains stop at the
+    // configured threshold; stride prefetches carry depth 1; the DL1
+    // never stores a depth at all.
+    const unsigned maxDepth = std::max(cfg.cdp.depthThreshold, 1u);
+    check::auditCache(dl1, 0, "dl1");
+    check::auditCache(ul2, maxDepth, "ul2");
+    check::auditMshr(mshrs, cfg.cdp.depthThreshold, "mshr");
+    check::auditArbiter(l2Arbiter, "l2arb");
+    check::auditTlb(dataTlb, pageTable, "dtlb");
+
+    // In-flight accounting: the prefetch-outstandingness counter must
+    // equal the number of MSHR entries in the prefetch lifecycle.
+    CDP_CHECK_MSG(prefetchInFlight == check::prefetchEntryCount(mshrs),
+                  check::dumpMshr(mshrs, "mshr"));
+
+    // Request-lifecycle pairing: every in-flight entry has exactly
+    // one scheduled completion event and vice versa, so no fill can
+    // be lost or delivered twice.
+    auto fills = pendingFills;
+    std::unordered_set<Addr> scheduled;
+    while (!fills.empty()) {
+        scheduled.insert(fills.top().linePa);
+        fills.pop();
+    }
+    CDP_CHECK_MSG(scheduled.size() == mshrs.size(),
+                  check::dumpMshr(mshrs, "mshr"));
+    for (const auto &[pa, entry] : check::Access::entries(mshrs)) {
+        (void)entry;
+        CDP_CHECK_MSG(scheduled.count(pa) == 1,
+                      check::dumpMshr(mshrs, "mshr"));
+    }
+#endif
 }
 
 void
@@ -82,6 +132,7 @@ MemorySystem::drainAll(Cycle now)
         advance(horizon + cfg.mem.drainBudgetCap);
         now = horizon + cfg.mem.drainBudgetCap;
     }
+    checkInvariants();
 }
 
 void
@@ -92,7 +143,8 @@ MemorySystem::drainPrefetches(Cycle now)
     // unbounded burst.
     if (now > lastDrain) {
         drainPool = std::min<Cycle>(
-            drainPool + (now - lastDrain), cfg.mem.drainBudgetCap);
+            drainPool + cyclesSince(now, lastDrain),
+            cfg.mem.drainBudgetCap);
         lastDrain = now;
     }
 
@@ -143,7 +195,7 @@ MemorySystem::timedWalk(Addr va, Cycle now, bool speculative)
         }
         if (const MshrEntry *e = mshrs.find(lpa)) {
             if (e->completion > now + lat)
-                lat = e->completion - now;
+                lat = cyclesUntil(e->completion, now);
             continue;
         }
         const Cycle comp = bus.service(now + lat);
@@ -155,7 +207,7 @@ MemorySystem::timedWalk(Addr va, Cycle now, bool speculative)
         fill.completion = comp;
         if (mshrs.allocate(fill))
             pendingFills.push({comp, lpa});
-        lat = comp - now;
+        lat = cyclesSince(comp, now);
     }
     if (!wr.framePa)
         return std::nullopt;
@@ -298,15 +350,28 @@ void
 MemorySystem::completeFill(Addr line_pa, Cycle when)
 {
     MshrEntry *found = mshrs.find(line_pa);
+    // Lifecycle FSM: completion events pair 1:1 with MSHR entries
+    // (allocate schedules exactly one event; nothing else releases),
+    // and the event must retire the transaction that scheduled it.
+    CDP_CHECK(found != nullptr);
     if (!found)
         return; // stale event (entry was serviced another way)
+    CDP_CHECK_MSG(found->completion == when,
+                  check::dumpMshr(mshrs, "mshr"));
     const MshrEntry entry = *found;
     mshrs.release(line_pa);
 
     if (isPrefetch(entry.type) || entry.promoted) {
+        CDP_CHECK(prefetchInFlight > 0);
         if (prefetchInFlight > 0)
             --prefetchInFlight;
     }
+
+    // No double-fill: the line left the UL2 before its fill was
+    // requested and only this path inserts, so it cannot be resident.
+    CDP_CHECK_MSG(ul2.probe(line_pa) == nullptr,
+                  check::dumpCacheSet(
+                      ul2, check::Access::setOf(ul2, line_pa), "ul2"));
 
     Eviction ev;
     CacheLine &line = ul2.insert(line_pa, &ev);
@@ -416,8 +481,8 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
         if (line->prefetched && !line->everUsed) {
             // First demand touch of a prefetched line: fully masked.
             if (now > line->fillCycle)
-                prefetchLead.sample(
-                    static_cast<double>(now - line->fillCycle));
+                prefetchLead.sample(static_cast<double>(
+                    cyclesSince(now, line->fillCycle)));
             if (line->fillType == ReqType::ContentPrefetch) {
                 ++ctr.maskFullCdp;
                 ++ctr.cdpUseful;
@@ -432,8 +497,8 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
         line->everUsed = true;
         reinforceOnHit(*line, line_pa, 0, vaddr, now);
         dl1.insert(line_va);
-        loadLatency.sample(
-            static_cast<double>(t0 + cfg.mem.l2Latency - now));
+        loadLatency.sample(static_cast<double>(
+            cyclesSince(t0 + cfg.mem.l2Latency, now)));
         return t0 + cfg.mem.l2Latency;
     }
 
@@ -446,6 +511,9 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
             const bool is_cdp = e->type == ReqType::ContentPrefetch;
             const bool overlap = e->strideOverlap;
             mshrs.promote(line_pa, 0, vaddr);
+            // Promotion must have moved the entry to demand class.
+            CDP_CHECK_MSG(!isPrefetch(mshrs.find(line_pa)->type),
+                          check::dumpMshr(mshrs, "mshr"));
             if (is_cdp) {
                 ++ctr.maskPartialCdp;
                 ++ctr.cdpUseful;
@@ -462,7 +530,7 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
         (void)fresh;
         const Cycle done = std::max(inflight_done,
                                     t0 + cfg.mem.l2Latency);
-        loadLatency.sample(static_cast<double>(done - now));
+        loadLatency.sample(static_cast<double>(cyclesSince(done, now)));
         return done;
     }
 
@@ -491,7 +559,7 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
     e.completion = comp;
     if (mshrs.allocate(e))
         pendingFills.push({comp, line_pa});
-    loadLatency.sample(static_cast<double>(comp - now));
+    loadLatency.sample(static_cast<double>(cyclesSince(comp, now)));
     return comp;
 }
 

@@ -67,6 +67,15 @@ class MemorySystem : public CoreMemIf
     /** Drain every in-flight transaction (end-of-run settling). */
     void drainAll(Cycle now);
 
+    /**
+     * Audit every structural invariant of the hierarchy (caches,
+     * MSHRs, arbiter, TLB, request-lifecycle accounting). Aborts with
+     * a state dump on the first violation. Compiled to a no-op unless
+     * the build enables CDP_ENABLE_CHECKS; checked builds also invoke
+     * it periodically from advance() and at drain points.
+     */
+    void checkInvariants() const;
+
     // Component access for tests and benches.
     Cache &l1() { return dl1; }
     Cache &l2() { return ul2; }
@@ -201,6 +210,7 @@ class MemorySystem : public CoreMemIf
     Cycle drainPool = 0; //!< banked L2-arbiter slots (1/cycle)
     unsigned rescanDebt = 0; //!< rescans consume L2 drain slots
     ReqId nextReqId = 1;
+    std::uint64_t checkTick = 0; //!< advance() calls, for audit pacing
     Rng pollutionRng;
     Addr pollutionSpan = 0; //!< physical span to pick bad lines from
 

@@ -66,6 +66,7 @@ void
 Simulator::warmup(std::uint64_t uops)
 {
     cpu->run(uops);
+    memsys->checkInvariants();
 }
 
 RunResult
@@ -90,6 +91,7 @@ Simulator::measure(std::uint64_t uops)
     const MemorySystem::Counters before{}; // just reset
     const std::uint64_t u0 = cpu->retiredUops();
     const Cycle cycles = cpu->run(uops);
+    memsys->checkInvariants();
     return snapshotDelta(cycles, cpu->retiredUops() - u0, before);
 }
 

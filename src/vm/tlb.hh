@@ -22,6 +22,8 @@
 namespace cdp
 {
 
+namespace check { struct Access; }
+
 /**
  * An LRU, set-associative TLB caching VPN -> PFN translations.
  */
@@ -61,6 +63,8 @@ class Tlb
     std::uint64_t missCount() const { return misses.value(); }
 
   private:
+    friend struct check::Access;
+
     struct Entry
     {
         Addr vpn = 0;

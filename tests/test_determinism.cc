@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Determinism guard: the simulator is a pure function of its
+ * configuration and seeds. Two runs of the same workload must produce
+ * byte-identical statistics dumps and identical headline counters —
+ * any divergence means unseeded randomness, iteration-order
+ * dependence, or uninitialized state crept into the model, which
+ * would make every paper-reproduction number unrepeatable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.hh"
+
+using namespace cdp;
+
+namespace
+{
+
+struct RunCapture
+{
+    std::string statsDump;
+    RunResult result;
+};
+
+RunCapture
+runOnce(const SimConfig &cfg)
+{
+    Simulator sim(cfg);
+    RunCapture cap;
+    cap.result = sim.run();
+    std::ostringstream os;
+    sim.stats().dump(os);
+    cap.statsDump = os.str();
+    return cap;
+}
+
+void
+expectIdentical(const RunCapture &a, const RunCapture &b)
+{
+    EXPECT_EQ(a.statsDump, b.statsDump);
+    EXPECT_EQ(a.result.cycles, b.result.cycles);
+    EXPECT_EQ(a.result.uops, b.result.uops);
+    EXPECT_EQ(a.result.mem.l2DemandMisses, b.result.mem.l2DemandMisses);
+    EXPECT_EQ(a.result.mem.cdpIssued, b.result.mem.cdpIssued);
+    EXPECT_EQ(a.result.mem.cdpUseful, b.result.mem.cdpUseful);
+    EXPECT_EQ(a.result.mem.strideIssued, b.result.mem.strideIssued);
+    EXPECT_EQ(a.result.mem.promotions, b.result.mem.promotions);
+}
+
+} // namespace
+
+TEST(Determinism, ByteIdenticalStatsDumpDefaultConfig)
+{
+    SimConfig cfg;
+    cfg.warmupUops = 25'000;
+    cfg.measureUops = 60'000;
+    const RunCapture a = runOnce(cfg);
+    const RunCapture b = runOnce(cfg);
+    ASSERT_FALSE(a.statsDump.empty());
+    expectIdentical(a, b);
+}
+
+TEST(Determinism, ByteIdenticalWithPollutionAndMarkov)
+{
+    // The pollution injector and Markov prefetcher both consume RNG
+    // streams; they must be seed-stable too.
+    SimConfig cfg;
+    cfg.warmupUops = 15'000;
+    cfg.measureUops = 40'000;
+    cfg.pollution.enabled = true;
+    cfg.markov.enabled = true;
+    cfg.markov.stabBytes = 64 * 1024;
+    expectIdentical(runOnce(cfg), runOnce(cfg));
+}
+
+TEST(Determinism, DistinctSeedsDiverge)
+{
+    // Sanity for the guard itself: a different workload seed must
+    // change the stream (otherwise the comparison above is vacuous).
+    SimConfig a;
+    a.warmupUops = 15'000;
+    a.measureUops = 40'000;
+    SimConfig b = a;
+    b.workloadSeed = 99;
+    EXPECT_NE(runOnce(a).statsDump, runOnce(b).statsDump);
+}

@@ -12,6 +12,8 @@
  *   scan-walk-fills — page-walk fills scanned (Section 3.5 warns of
  *                     combinational explosion on page-table lines)
  *   scan-width      — width fills extend chains (geometric frontier)
+ *
+ * Baselines run as one batch, the variant grid as another.
  */
 
 #include <cstdio>
@@ -50,27 +52,43 @@ main(int argc, char **argv)
          [](SimConfig &c) { c.cdp.scanWidthFills = true; }},
     };
 
+    const auto set = benchSet();
+
     // Shared stride-only baselines.
-    std::vector<RunResult> baselines;
-    for (const auto &name : benchSet()) {
-        SimConfig c = base;
-        c.workload = name;
-        c.cdp.enabled = false;
-        baselines.push_back(runSim(c));
+    std::vector<runner::SimJob> base_jobs;
+    for (const auto &name : set) {
+        runner::SimJob j;
+        j.cfg = base;
+        j.cfg.workload = name;
+        j.cfg.cdp.enabled = false;
+        j.tag = name + "/stride-only";
+        base_jobs.push_back(j);
     }
+    const std::vector<RunResult> baselines = runBatch(base_jobs);
+
+    std::vector<runner::SimJob> jobs;
+    for (const auto &v : variants) {
+        for (const auto &name : set) {
+            runner::SimJob j;
+            j.cfg = base;
+            j.cfg.workload = name;
+            v.apply(j.cfg);
+            j.tag = std::string(v.name) + "/" + name;
+            jobs.push_back(j);
+        }
+    }
+    const std::vector<RunResult> res = runBatch(jobs);
 
     std::printf("%-16s %12s %14s %12s\n", "variant", "avg-speedup",
                 "cdp-issued", "rescans");
 
+    runner::BenchReport report("ablation");
+    std::size_t idx = 0;
     for (const auto &v : variants) {
         std::vector<double> sp;
         std::uint64_t issued = 0, rescans = 0;
-        const auto set = benchSet();
         for (std::size_t i = 0; i < set.size(); ++i) {
-            SimConfig c = base;
-            c.workload = set[i];
-            v.apply(c);
-            const RunResult r = runSim(c);
+            const RunResult &r = res[idx++];
             sp.push_back(r.speedupOver(baselines[i]));
             issued += r.mem.cdpIssued;
             rescans += r.mem.rescans;
@@ -79,6 +97,11 @@ main(int argc, char **argv)
                     pct(mean(sp)).c_str(),
                     static_cast<unsigned long long>(issued),
                     static_cast<unsigned long long>(rescans));
+        report.row(v.name)
+            .add("avg_speedup", mean(sp))
+            .add("cdp_issued", issued)
+            .add("rescans", rescans);
     }
+    report.write(simRunner());
     return 0;
 }

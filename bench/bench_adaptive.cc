@@ -5,6 +5,10 @@
  * hand-tuned 8.4.1.2 / p0.n3 configuration, and versus a deliberately
  * mis-tuned fixed configuration (12 compare bits, the "safe" end of
  * Figure 7) that the controller should be able to escape from.
+ *
+ * The three fixed-config runs per workload fan out as plain SimJobs;
+ * the adaptive runs go through SimRunner::map because each needs the
+ * live Simulator to read the controller's epoch count afterwards.
  */
 
 #include <cstdio>
@@ -29,39 +33,75 @@ main(int argc, char **argv)
     std::printf("%-16s %12s %12s %12s %10s\n", "benchmark",
                 "hand-tuned", "mis-tuned", "adaptive", "epochs");
 
+    const auto set = benchSet();
+
+    std::vector<runner::SimJob> jobs;
+    for (const auto &name : set) {
+        runner::SimJob off;
+        off.cfg = base;
+        off.cfg.workload = name;
+        off.cfg.cdp.enabled = false;
+        off.tag = name + "/stride-only";
+        jobs.push_back(off);
+
+        runner::SimJob hand;
+        hand.cfg = base;
+        hand.cfg.workload = name;
+        hand.tag = name + "/hand-tuned";
+        jobs.push_back(hand);
+
+        runner::SimJob mis;
+        mis.cfg = base;
+        mis.cfg.workload = name;
+        mis.cfg.cdp.vam.compareBits = 12;
+        mis.cfg.cdp.nextLines = 0;
+        mis.tag = name + "/mis-tuned";
+        jobs.push_back(mis);
+    }
+    const std::vector<RunResult> fixed = runBatch(jobs);
+
+    struct AdaptiveRun
+    {
+        RunResult result;
+        std::uint64_t epochs = 0;
+    };
+    const auto adaptive_runs =
+        simRunner().map(set.size(), [&](std::size_t i) {
+            SimConfig adapt = base; // start from the mis-tuned point
+            adapt.workload = set[i];
+            adapt.cdp.vam.compareBits = 12;
+            adapt.cdp.nextLines = 0;
+            adapt.adaptive.enabled = true;
+            adapt.adaptive.epochPrefetches = 1024;
+            Simulator as(adapt);
+            AdaptiveRun run;
+            run.result = as.run();
+            run.epochs = as.memory().adaptiveCtl().epochsEvaluated();
+            return run;
+        });
+
+    runner::BenchReport report("adaptive");
     std::vector<double> sp_hand, sp_mis, sp_adapt;
-    for (const auto &name : benchSet()) {
-        SimConfig off = base;
-        off.workload = name;
-        off.cdp.enabled = false;
-        const RunResult rb = runSim(off);
-
-        SimConfig hand = base;
-        hand.workload = name;
-        const RunResult rh = runSim(hand);
-
-        SimConfig mis = base;
-        mis.workload = name;
-        mis.cdp.vam.compareBits = 12;
-        mis.cdp.nextLines = 0;
-        const RunResult rm = runSim(mis);
-
-        SimConfig adapt = mis; // start from the mis-tuned point
-        adapt.adaptive.enabled = true;
-        adapt.adaptive.epochPrefetches = 1024;
-        Simulator as(adapt);
-        const RunResult ra = as.run();
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        const RunResult &rb = fixed[3 * i];
+        const RunResult &rh = fixed[3 * i + 1];
+        const RunResult &rm = fixed[3 * i + 2];
+        const AdaptiveRun &ar = adaptive_runs[i];
 
         const double sh = rh.speedupOver(rb);
         const double sm = rm.speedupOver(rb);
-        const double sa = ra.speedupOver(rb);
+        const double sa = ar.result.speedupOver(rb);
         sp_hand.push_back(sh);
         sp_mis.push_back(sm);
         sp_adapt.push_back(sa);
-        std::printf("%-16s %12s %12s %12s %10llu\n", name.c_str(),
+        std::printf("%-16s %12s %12s %12s %10llu\n", set[i].c_str(),
                     pct(sh).c_str(), pct(sm).c_str(), pct(sa).c_str(),
-                    static_cast<unsigned long long>(
-                        as.memory().adaptiveCtl().epochsEvaluated()));
+                    static_cast<unsigned long long>(ar.epochs));
+        report.row(set[i])
+            .add("speedup_hand", sh)
+            .add("speedup_mistuned", sm)
+            .add("speedup_adaptive", sa)
+            .add("epochs", ar.epochs);
     }
 
     std::printf("\naverages: hand-tuned %s, mis-tuned %s, adaptive "
@@ -70,5 +110,6 @@ main(int argc, char **argv)
                 pct(mean(sp_adapt)).c_str());
     std::printf("expected shape: adaptive recovers part of the gap "
                 "between mis-tuned and hand-tuned.\n");
+    report.write(simRunner());
     return 0;
 }

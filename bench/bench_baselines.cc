@@ -12,6 +12,8 @@
  * gain is measured ON TOP of a real hardware baseline rather than
  * against a prefetch-free machine — the paper's stated concern about
  * inflated "context-based" comparisons.
+ *
+ * Reference IPCs and the baseline x CDP grid fan out as batches.
  */
 
 #include <cstdio>
@@ -48,29 +50,49 @@ main(int argc, char **argv)
     std::printf("%-12s %14s %14s %14s\n", "baseline", "ipc-vs-none",
                 "with-cdp", "cdp-gain");
 
-    std::vector<double> none_ipcs;
-    for (const auto &name : benchSet()) {
-        SimConfig c = base;
-        c.workload = name;
-        c.stride.enabled = false;
-        c.cdp.enabled = false;
-        none_ipcs.push_back(runSim(c).ipc);
-    }
+    const auto set = benchSet();
 
+    std::vector<runner::SimJob> none_jobs;
+    for (const auto &name : set) {
+        runner::SimJob j;
+        j.cfg = base;
+        j.cfg.workload = name;
+        j.cfg.stride.enabled = false;
+        j.cfg.cdp.enabled = false;
+        j.tag = name + "/none";
+        none_jobs.push_back(j);
+    }
+    const std::vector<RunResult> none_runs = runBatch(none_jobs);
+    std::vector<double> none_ipcs;
+    for (const auto &r : none_runs)
+        none_ipcs.push_back(r.ipc);
+
+    std::vector<runner::SimJob> jobs;
+    for (const auto &b : baselines) {
+        for (const auto &name : set) {
+            runner::SimJob off;
+            off.cfg = base;
+            off.cfg.workload = name;
+            b.apply(off.cfg);
+            off.cfg.cdp.enabled = false;
+            off.tag = std::string(b.name) + "/" + name + "/no-cdp";
+            jobs.push_back(off);
+
+            runner::SimJob on = off;
+            on.cfg.cdp.enabled = true;
+            on.tag = std::string(b.name) + "/" + name + "/cdp";
+            jobs.push_back(on);
+        }
+    }
+    const std::vector<RunResult> res = runBatch(jobs);
+
+    runner::BenchReport report("baselines");
+    std::size_t idx = 0;
     for (const auto &b : baselines) {
         std::vector<double> rel_off, rel_on, gain;
-        const auto set = benchSet();
         for (std::size_t i = 0; i < set.size(); ++i) {
-            SimConfig off = base;
-            off.workload = set[i];
-            b.apply(off);
-            off.cdp.enabled = false;
-            const RunResult ro = runSim(off);
-
-            SimConfig on = off;
-            on.cdp.enabled = true;
-            const RunResult rn = runSim(on);
-
+            const RunResult &ro = res[idx++];
+            const RunResult &rn = res[idx++];
             rel_off.push_back(ro.ipc / none_ipcs[i]);
             rel_on.push_back(rn.ipc / none_ipcs[i]);
             gain.push_back(rn.ipc / ro.ipc);
@@ -78,6 +100,10 @@ main(int argc, char **argv)
         std::printf("%-12s %14.4f %14.4f %14s\n", b.name,
                     mean(rel_off), mean(rel_on),
                     pct(mean(gain)).c_str());
+        report.row(b.name)
+            .add("ipc_vs_none", mean(rel_off))
+            .add("ipc_with_cdp", mean(rel_on))
+            .add("cdp_gain", mean(gain));
     }
 
     std::printf("\nshape checks: both hardware baselines beat "
@@ -87,5 +113,6 @@ main(int argc, char **argv)
                 "~2x stride's prefetch traffic), absorbing\nmost of "
                 "what CDP would otherwise contribute -- real "
                 "fragmented heaps behave\nlike the stride row.\n");
+    report.write(simRunner());
     return 0;
 }

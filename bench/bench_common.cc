@@ -1,18 +1,74 @@
 #include "bench_common.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <sstream>
+#include <stdexcept>
 
 namespace cdpbench
 {
 
 using namespace cdp;
 
+namespace
+{
+
+// Process-wide runner, created lazily so a `-j` flag parsed in
+// applyEnv can still pick the worker count. Namespace-scope (not
+// function-local static) deliberately: tools/lint_sim.py flags
+// function-local static mutable state as the thread-unsafe pattern.
+std::mutex g_runnerMutex;
+std::unique_ptr<runner::SimRunner> g_runner;
+unsigned g_requestedJobs = 0;
+
+/**
+ * The baseline-miss memo. shared_future-based: the first requester
+ * of a key installs the future and runs the simulation; concurrent
+ * requesters block on the shared result, so each distinct baseline
+ * runs exactly once per process no matter how many workers ask.
+ */
+struct BaselineMemo
+{
+    std::mutex m;
+    std::map<std::string, std::shared_future<std::uint64_t>> futures;
+    std::atomic<std::uint64_t> computations{0};
+};
+BaselineMemo g_baselines;
+
+} // namespace
+
+void
+setRunnerJobs(unsigned jobs)
+{
+    std::lock_guard<std::mutex> lk(g_runnerMutex);
+    if (g_runner && jobs != 0 && jobs != g_runner->jobCount())
+        throw std::logic_error(
+            "setRunnerJobs after the shared runner was created");
+    g_requestedJobs = jobs;
+}
+
+runner::SimRunner &
+simRunner()
+{
+    std::lock_guard<std::mutex> lk(g_runnerMutex);
+    if (!g_runner)
+        g_runner =
+            std::make_unique<runner::SimRunner>(g_requestedJobs);
+    return *g_runner;
+}
+
 void
 applyEnv(SimConfig &cfg, int argc, char **argv)
 {
+    const unsigned jobs = runner::parseJobsFlag(argc, argv);
+    if (jobs)
+        setRunnerJobs(jobs);
     cfg.parseArgs(argc, argv); // also applies CDP_SCALE
 }
 
@@ -53,6 +109,12 @@ runWhole(const SimConfig &cfg)
     return sim.runChunk(cfg.warmupUops + cfg.measureUops);
 }
 
+std::vector<RunResult>
+runBatch(const std::vector<runner::SimJob> &jobs)
+{
+    return simRunner().run(jobs);
+}
+
 PairResult
 runPair(SimConfig cfg)
 {
@@ -63,6 +125,33 @@ runPair(SimConfig cfg)
     cfg.cdp.enabled = true;
     r.withCdp = runSim(cfg);
     return r;
+}
+
+std::vector<PairResult>
+runPairs(const std::vector<SimConfig> &cfgs)
+{
+    std::vector<runner::SimJob> jobs;
+    jobs.reserve(cfgs.size() * 2);
+    for (const auto &cfg : cfgs) {
+        runner::SimJob off;
+        off.cfg = cfg;
+        off.cfg.cdp.enabled = false;
+        off.tag = cfg.workload + "/base";
+        jobs.push_back(std::move(off));
+
+        runner::SimJob on;
+        on.cfg = cfg;
+        on.cfg.cdp.enabled = true;
+        on.tag = cfg.workload + "/cdp";
+        jobs.push_back(std::move(on));
+    }
+    const std::vector<RunResult> res = runBatch(jobs);
+    std::vector<PairResult> out(cfgs.size());
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+        out[i].baseline = res[2 * i];
+        out[i].withCdp = res[2 * i + 1];
+    }
+    return out;
 }
 
 double
@@ -121,26 +210,79 @@ adjustedCoverageAccuracy(const RunResult &cdp_run,
     return ca;
 }
 
+namespace
+{
+
+/**
+ * Everything the baseline miss count can depend on. Workload name +
+ * size alone is not enough: benches override run lengths, seeds, and
+ * cache/TLB geometry per experiment, and a memo keyed too narrowly
+ * silently returns a denominator from a different machine.
+ */
+std::string
+baselineKey(const SimConfig &base, const std::string &workload)
+{
+    std::ostringstream os;
+    os << workload << "/seed" << base.workloadSeed << "/w"
+       << base.warmupUops << "/m" << base.measureUops << "/l1."
+       << base.mem.l1Bytes << "." << base.mem.l1Ways << "/l2."
+       << base.mem.l2Bytes << "." << base.mem.l2Ways << "/tlb."
+       << base.mem.dtlbEntries << "." << base.mem.dtlbWays << "/bus."
+       << base.mem.busLatency << "." << base.mem.busOccupancy;
+    return os.str();
+}
+
+} // namespace
+
 std::uint64_t
 missesWithoutPrefetching(const SimConfig &base,
                          const std::string &workload)
 {
-    static std::map<std::string, std::uint64_t> memo;
-    const std::string key =
-        workload + "/" + std::to_string(base.mem.l2Bytes) + "/" +
-        std::to_string(base.measureUops);
-    auto it = memo.find(key);
-    if (it != memo.end())
-        return it->second;
+    const std::string key = baselineKey(base, workload);
+    std::promise<std::uint64_t> promise;
+    std::shared_future<std::uint64_t> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lk(g_baselines.m);
+        auto it = g_baselines.futures.find(key);
+        if (it == g_baselines.futures.end()) {
+            future = promise.get_future().share();
+            g_baselines.futures.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (owner) {
+        try {
+            SimConfig cfg = base;
+            cfg.workload = workload;
+            cfg.cdp.enabled = false;
+            cfg.stride.enabled = false;
+            cfg.markov.enabled = false;
+            const RunResult r = runWhole(cfg);
+            ++g_baselines.computations;
+            promise.set_value(r.mem.l2DemandMisses);
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
 
-    SimConfig cfg = base;
-    cfg.workload = workload;
-    cfg.cdp.enabled = false;
-    cfg.stride.enabled = false;
-    cfg.markov.enabled = false;
-    const RunResult r = runWhole(cfg);
-    memo[key] = r.mem.l2DemandMisses;
-    return r.mem.l2DemandMisses;
+void
+prewarmBaselines(const SimConfig &base,
+                 const std::vector<std::string> &workloads)
+{
+    simRunner().map(workloads.size(), [&](std::size_t i) {
+        return missesWithoutPrefetching(base, workloads[i]);
+    });
+}
+
+std::uint64_t
+baselineComputations()
+{
+    return g_baselines.computations.load();
 }
 
 } // namespace cdpbench

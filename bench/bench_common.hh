@@ -7,6 +7,13 @@
  * Table 2 suite at reduced uop counts so the whole harness finishes
  * in minutes; set CDP_FULL_SUITE=1 for all 15 benchmarks and
  * CDP_SCALE=<f> to scale run lengths.
+ *
+ * Independent simulations fan out over the process-wide SimRunner
+ * (src/runner): pass `-jN` / `--jobs=N` (or CDP_JOBS=N) to use N
+ * worker threads. Results always come back in submission order, so a
+ * bench's stdout and its BENCH_<name>.json are byte-identical at any
+ * job count; only stderr progress and the report's single "harness"
+ * line depend on scheduling.
  */
 
 #ifndef CDP_BENCH_COMMON_HH
@@ -15,13 +22,19 @@
 #include <string>
 #include <vector>
 
+#include "runner/report.hh"
+#include "runner/sim_runner.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 
 namespace cdpbench
 {
 
-/** Apply CDP_SCALE and any argv overrides to @p cfg. */
+/**
+ * Apply CDP_SCALE and any argv overrides to @p cfg. A `-jN` /
+ * `--jobs=N` argument is consumed here and sets the worker count of
+ * the shared runner (must precede the first fan-out).
+ */
 void applyEnv(cdp::SimConfig &cfg, int argc, char **argv);
 
 /** The benchmark names to sweep (subset, or all 15 with env). */
@@ -30,7 +43,19 @@ std::vector<std::string> benchSet();
 /** True when CDP_FULL_SUITE is set. */
 bool fullSuite();
 
-/** Run one simulation to completion. */
+/**
+ * The process-wide experiment runner. Created on first use with the
+ * worker count from `-j` / CDP_JOBS / hardware_concurrency.
+ */
+cdp::runner::SimRunner &simRunner();
+
+/**
+ * Request a worker count for the shared runner; must be called
+ * before the first simRunner() use (applyEnv does this for `-j`).
+ */
+void setRunnerJobs(unsigned jobs);
+
+/** Run one simulation to completion (callable from worker threads). */
 cdp::RunResult runSim(const cdp::SimConfig &cfg);
 
 /**
@@ -41,6 +66,12 @@ cdp::RunResult runSim(const cdp::SimConfig &cfg);
  * matching issue ("accuracy" above 100%).
  */
 cdp::RunResult runWhole(const cdp::SimConfig &cfg);
+
+/**
+ * Fan @p jobs out on the shared runner; results in submission order.
+ */
+std::vector<cdp::RunResult>
+runBatch(const std::vector<cdp::runner::SimJob> &jobs);
 
 /**
  * Run @p cfg with the content prefetcher disabled (the paper's
@@ -57,6 +88,12 @@ struct PairResult
 };
 
 PairResult runPair(cdp::SimConfig cfg);
+
+/**
+ * Fan out baseline/with-CDP pairs for every config (2N sims on the
+ * shared runner); pair i corresponds to @p cfgs[i].
+ */
+std::vector<PairResult> runPairs(const std::vector<cdp::SimConfig> &cfgs);
 
 /** Arithmetic mean. */
 double mean(const std::vector<double> &v);
@@ -87,11 +124,29 @@ adjustedCoverageAccuracy(const cdp::RunResult &cdp_run,
 
 /**
  * Misses of @p workload with every prefetcher off (the denominator
- * of the coverage metric). Results are memoized per workload/config
- * size within one process.
+ * of the coverage metric). Memoized per process behind a
+ * shared_future keyed on the full relevant configuration (workload,
+ * seed, run lengths, cache/TLB geometry): safe to call from any
+ * worker thread, and concurrent requests for the same baseline run
+ * the simulation exactly once while the rest block on the shared
+ * result.
  */
 std::uint64_t missesWithoutPrefetching(const cdp::SimConfig &base,
                                        const std::string &workload);
+
+/**
+ * Prime the missesWithoutPrefetching memo for every name in
+ * @p workloads in parallel, so a following sweep doesn't serialize
+ * its first configuration behind baseline computation.
+ */
+void prewarmBaselines(const cdp::SimConfig &base,
+                      const std::vector<std::string> &workloads);
+
+/**
+ * Number of baseline simulations actually executed by
+ * missesWithoutPrefetching (memo misses); test support.
+ */
+std::uint64_t baselineComputations();
 
 } // namespace cdpbench
 

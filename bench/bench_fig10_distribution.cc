@@ -10,6 +10,8 @@
  * stride-based misses, and of the content prefetches that masked
  * anything, ~72% fully masked the load (validating the on-chip
  * placement); individual speedups range 1.4%..39.5%.
+ *
+ * The baseline/with-CDP pair per workload fans out via runPairs().
  */
 
 #include <cstdio>
@@ -49,10 +51,17 @@ main(int argc, char **argv)
                                  return all;
                              }();
 
+    std::vector<SimConfig> cfgs;
     for (const auto &name : names) {
         SimConfig c = base;
         c.workload = name;
-        const PairResult pr = runPair(c);
+        cfgs.push_back(c);
+    }
+    const std::vector<PairResult> pairs = runPairs(cfgs);
+
+    runner::BenchReport report("fig10_distribution");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const PairResult &pr = pairs[i];
         const auto &m = pr.withCdp.mem;
 
         const std::uint64_t would_miss =
@@ -67,10 +76,17 @@ main(int argc, char **argv)
         speedups.push_back(sp);
         std::printf("%-16s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% "
                     "%10s\n",
-                    name.c_str(), share(m.maskFullStride),
+                    names[i].c_str(), share(m.maskFullStride),
                     share(m.maskPartialStride), share(m.maskFullCdp),
                     share(m.maskPartialCdp), share(m.l2DemandMisses),
                     pct(sp).c_str());
+        report.row(names[i])
+            .addResult(pr.withCdp)
+            .add("mask_full_stride", m.maskFullStride)
+            .add("mask_partial_stride", m.maskPartialStride)
+            .add("mask_full_cdp", m.maskFullCdp)
+            .add("mask_partial_cdp", m.maskPartialCdp)
+            .add("speedup", sp);
 
         tot_cpf_full += m.maskFullCdp;
         tot_cpf_part += m.maskPartialCdp;
@@ -102,5 +118,6 @@ main(int argc, char **argv)
                 pct(*std::max_element(speedups.begin(),
                                       speedups.end()))
                     .c_str());
+    report.write(simRunner());
     return 0;
 }

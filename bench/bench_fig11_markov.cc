@@ -12,6 +12,8 @@
  * outright (speedups below 1.0); even the unbounded STAB tops out at
  * ~4.5% because it must train before it can predict, while the
  * stateless content prefetcher reaches ~12.6% — nearly 3x better.
+ *
+ * All base/variant runs across the four rows fan out as one batch.
  */
 
 #include <cstdio>
@@ -20,27 +22,6 @@
 
 using namespace cdp;
 using namespace cdpbench;
-
-namespace
-{
-
-double
-avgSpeedup(const SimConfig &base, const SimConfig &variant)
-{
-    std::vector<double> sp;
-    for (const auto &name : benchSet()) {
-        SimConfig b = base;
-        b.workload = name;
-        SimConfig v = variant;
-        v.workload = name;
-        const RunResult rb = runSim(b);
-        const RunResult rv = runSim(v);
-        sp.push_back(rv.speedupOver(rb));
-    }
-    return mean(sp);
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -90,17 +71,46 @@ main(int argc, char **argv)
         {"content", &content, "~1.126"},
     };
 
+    // One base + one variant sim per (row, workload).
+    const auto set = benchSet();
+    std::vector<runner::SimJob> jobs;
+    for (const auto &row : rows) {
+        for (const auto &name : set) {
+            runner::SimJob jb;
+            jb.cfg = base;
+            jb.cfg.workload = name;
+            jb.tag = std::string(row.name) + "/" + name + "/base";
+            jobs.push_back(jb);
+
+            runner::SimJob jv;
+            jv.cfg = *row.cfg;
+            jv.cfg.workload = name;
+            jv.tag = std::string(row.name) + "/" + name;
+            jobs.push_back(jv);
+        }
+    }
+    const std::vector<RunResult> res = runBatch(jobs);
+
+    runner::BenchReport report("fig11_markov");
     std::printf("%-12s %12s %20s\n", "config", "avg-speedup",
                 "paper shape");
     double markov_big_sp = 1.0, content_sp = 1.0;
+    std::size_t idx = 0;
     for (const auto &row : rows) {
-        const double sp = avgSpeedup(base, *row.cfg);
-        std::printf("%-12s %12s %20s\n", row.name, pct(sp).c_str(),
+        std::vector<double> sp;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            const RunResult &rb = res[idx++];
+            const RunResult &rv = res[idx++];
+            sp.push_back(rv.speedupOver(rb));
+        }
+        const double avg = mean(sp);
+        std::printf("%-12s %12s %20s\n", row.name, pct(avg).c_str(),
                     row.paper);
+        report.row(row.name).add("avg_speedup", avg);
         if (std::string(row.name) == "markov_big")
-            markov_big_sp = sp;
+            markov_big_sp = avg;
         if (std::string(row.name) == "content")
-            content_sp = sp;
+            content_sp = avg;
     }
 
     if (markov_big_sp > 1.0) {
@@ -111,5 +121,6 @@ main(int argc, char **argv)
         std::printf("\nmarkov_big shows no gain on this suite; the "
                     "stateless content prefetcher wins outright.\n");
     }
+    report.write(simRunner());
     return 0;
 }

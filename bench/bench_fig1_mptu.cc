@@ -7,6 +7,10 @@
  * steady state around 7.5 M uops. We reproduce the trace (scaled
  * windows) for one benchmark per suite, prefetchers disabled, on the
  * 4-MB cache the paper uses for this study.
+ *
+ * Each benchmark's whole 30-window chunked trace is one task on the
+ * shared runner (a trace is stateful across windows, so windows
+ * cannot split across workers); the matrix prints after the batch.
  */
 
 #include <cstdio>
@@ -44,26 +48,26 @@ main(int argc, char **argv)
         std::printf(" %14s", name.c_str());
     std::printf("\n");
 
-    std::vector<std::unique_ptr<Simulator>> sims;
-    for (const auto &name : traced) {
-        SimConfig c = base;
-        c.workload = name;
-        sims.push_back(std::make_unique<Simulator>(c));
-    }
+    const auto traces =
+        simRunner().map(traced.size(), [&](std::size_t i) {
+            SimConfig c = base;
+            c.workload = traced[i];
+            Simulator sim(c);
+            std::vector<double> trace;
+            trace.reserve(windows);
+            for (unsigned w = 0; w < windows; ++w)
+                trace.push_back(sim.runChunk(window).mptu());
+            return trace;
+        });
 
-    // Per-benchmark steady-state detection: first window after which
-    // the MPTU stays within 2x of the final average.
-    std::vector<std::vector<double>> traces(traced.size());
     for (unsigned w = 0; w < windows; ++w) {
         std::printf("%-10u", w * static_cast<unsigned>(window));
-        for (std::size_t i = 0; i < sims.size(); ++i) {
-            const RunResult chunk = sims[i]->runChunk(window);
-            traces[i].push_back(chunk.mptu());
-            std::printf(" %14.3f", chunk.mptu());
-        }
+        for (std::size_t i = 0; i < traced.size(); ++i)
+            std::printf(" %14.3f", traces[i][w]);
         std::printf("\n");
     }
 
+    runner::BenchReport report("fig1_mptu");
     std::printf("\nsteady-state (mean of last 10 windows):\n");
     for (std::size_t i = 0; i < traced.size(); ++i) {
         double tail = 0;
@@ -74,9 +78,15 @@ main(int argc, char **argv)
                     "transient ratio %.1fx)\n",
                     traced[i].c_str(), tail, traces[i][0],
                     tail > 0 ? traces[i][0] / tail : 0.0);
+        report.row(traced[i])
+            .add("steady_state_mptu", tail)
+            .add("first_window_mptu", traces[i][0])
+            .add("transient_ratio",
+                 tail > 0 ? traces[i][0] / tail : 0.0);
     }
     std::printf("\nconclusion: statistics collection should start "
                 "after the transient;\nthe simulator defaults its "
                 "warm-up to ~40%% of the run accordingly.\n");
+    report.write(simRunner());
     return 0;
 }

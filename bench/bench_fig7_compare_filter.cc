@@ -7,6 +7,10 @@
  * 8 compare bits + 4 filter bits as the best coverage/accuracy
  * trade-off: accuracy rises with more compare bits while coverage
  * falls (the prefetchable range halves per added bit).
+ *
+ * Fan-out: the no-prefetch baselines are prewarmed (one shared
+ * future-backed run per workload), then every config x workload cell
+ * is an independent job computing its own coverage/accuracy.
  */
 
 #include <cstdio>
@@ -37,10 +41,19 @@ main(int argc, char **argv)
     std::printf("%-8s %12s %12s\n", "config", "adj-coverage",
                 "adj-accuracy");
 
-    double best_cov84 = 0, best_acc84 = 0;
-    for (const auto &[cb, fb] : configs) {
-        std::vector<double> covs, accs;
-        for (const auto &name : benchSet()) {
+    const auto set = benchSet();
+    prewarmBaselines(base, set);
+
+    const std::size_t ncfg = std::size(configs);
+    struct Cell
+    {
+        double coverage = 0.0;
+        double accuracy = 0.0;
+    };
+    const auto cells = simRunner().map(
+        ncfg * set.size(), [&](std::size_t idx) {
+            const auto &[cb, fb] = configs[idx / set.size()];
+            const std::string &name = set[idx % set.size()];
             SimConfig c = base;
             c.workload = name;
             c.cdp.vam.compareBits = cb;
@@ -48,12 +61,28 @@ main(int argc, char **argv)
             const RunResult r = runWhole(c);
             const auto ca = adjustedCoverageAccuracy(
                 r, missesWithoutPrefetching(base, name));
-            covs.push_back(ca.coverage);
-            accs.push_back(ca.accuracy);
+            return Cell{ca.coverage, ca.accuracy};
+        });
+
+    runner::BenchReport report("fig7_compare_filter");
+    double best_cov84 = 0, best_acc84 = 0;
+    for (std::size_t ci = 0; ci < ncfg; ++ci) {
+        const auto &[cb, fb] = configs[ci];
+        std::vector<double> covs, accs;
+        for (std::size_t wi = 0; wi < set.size(); ++wi) {
+            covs.push_back(cells[ci * set.size() + wi].coverage);
+            accs.push_back(cells[ci * set.size() + wi].accuracy);
         }
         const double cov = mean(covs), acc = mean(accs);
         std::printf("%02u.%-5u %11.1f%% %11.1f%%\n", cb, fb,
                     cov * 100.0, acc * 100.0);
+        char tag[16];
+        std::snprintf(tag, sizeof(tag), "%02u.%u", cb, fb);
+        report.row(tag)
+            .add("compare_bits", cb)
+            .add("filter_bits", fb)
+            .add("adj_coverage", cov)
+            .add("adj_accuracy", acc);
         if (cb == 8 && fb == 4) {
             best_cov84 = cov;
             best_acc84 = acc;
@@ -63,5 +92,6 @@ main(int argc, char **argv)
     std::printf("\nchosen configuration 8.4: coverage %.1f%%, "
                 "accuracy %.1f%%\n",
                 best_cov84 * 100.0, best_acc84 * 100.0);
+    report.write(simRunner());
     return 0;
 }

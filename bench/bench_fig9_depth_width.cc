@@ -9,6 +9,9 @@
  *  - with reinforcement the ordering reverses (depth 3 best) and the
  *    overall best point is reinforcement + depth 3 + p0.n3 (12.6%),
  *    ~1.3% above the best no-reinforcement configuration.
+ *
+ * Fan-out: the per-workload stride-only baselines run as one batch,
+ * then the full width x reinforce x depth x workload grid as another.
  */
 
 #include <cstdio>
@@ -34,14 +37,19 @@ main(int argc, char **argv)
         "better; with reinforcement depth 3 + p0.n3 wins (~12.6%)",
         base);
 
+    const auto set = benchSet();
+
     // Baselines (stride only) per workload, reused across configs.
-    std::vector<RunResult> baselines;
-    for (const auto &name : benchSet()) {
-        SimConfig c = base;
-        c.workload = name;
-        c.cdp.enabled = false;
-        baselines.push_back(runSim(c));
+    std::vector<runner::SimJob> base_jobs;
+    for (const auto &name : set) {
+        runner::SimJob j;
+        j.cfg = base;
+        j.cfg.workload = name;
+        j.cfg.cdp.enabled = false;
+        j.tag = name + "/stride-only";
+        base_jobs.push_back(j);
     }
+    const std::vector<RunResult> baselines = runBatch(base_jobs);
 
     std::printf("%-8s", "width");
     for (unsigned d : depths)
@@ -50,26 +58,60 @@ main(int argc, char **argv)
         std::printf(" %11s.%u", "depth-rf", d);
     std::printf("\n");
 
+    // Grid order (outer to inner): width, reinforce, depth, workload
+    // — matching the serial print order so results land in place.
+    const std::size_t nw = std::size(widths);
+    const std::size_t nd = std::size(depths);
+    std::vector<runner::SimJob> jobs;
+    jobs.reserve(nw * 2 * nd * set.size());
+    for (const auto &[prev, next] : widths) {
+        for (bool reinforce : {false, true}) {
+            for (unsigned depth : depths) {
+                for (const auto &name : set) {
+                    runner::SimJob j;
+                    j.cfg = base;
+                    j.cfg.workload = name;
+                    j.cfg.cdp.prevLines = prev;
+                    j.cfg.cdp.nextLines = next;
+                    j.cfg.cdp.depthThreshold = depth;
+                    j.cfg.cdp.reinforce = reinforce;
+                    char tag[64];
+                    std::snprintf(tag, sizeof(tag),
+                                  "p%u.n%u/d%u/%s/%s", prev, next,
+                                  depth, reinforce ? "rf" : "nr",
+                                  name.c_str());
+                    j.tag = tag;
+                    jobs.push_back(j);
+                }
+            }
+        }
+    }
+    const std::vector<RunResult> res = runBatch(jobs);
+
+    runner::BenchReport report("fig9_depth_width");
     double best = 0.0;
     std::string best_label;
+    std::size_t idx = 0;
     for (const auto &[prev, next] : widths) {
         std::printf("p%u.n%-4u", prev, next);
         for (bool reinforce : {false, true}) {
             for (unsigned depth : depths) {
                 std::vector<double> sp;
-                const auto set = benchSet();
-                for (std::size_t i = 0; i < set.size(); ++i) {
-                    SimConfig c = base;
-                    c.workload = set[i];
-                    c.cdp.prevLines = prev;
-                    c.cdp.nextLines = next;
-                    c.cdp.depthThreshold = depth;
-                    c.cdp.reinforce = reinforce;
-                    const RunResult r = runSim(c);
-                    sp.push_back(r.speedupOver(baselines[i]));
-                }
+                for (std::size_t i = 0; i < set.size(); ++i)
+                    sp.push_back(
+                        res[idx++].speedupOver(baselines[i]));
                 const double avg = mean(sp);
                 std::printf(" %12.4f", avg);
+                char tag[48];
+                std::snprintf(tag, sizeof(tag), "p%u.n%u/d%u/%s",
+                              prev, next, depth,
+                              reinforce ? "rf" : "nr");
+                report.row(tag)
+                    .add("prev_lines", prev)
+                    .add("next_lines", next)
+                    .add("depth_threshold", depth)
+                    .add("reinforce", reinforce ? 1 : 0)
+                    .add("avg_speedup", avg);
                 if (avg > best) {
                     best = avg;
                     char lab[64];
@@ -87,5 +129,6 @@ main(int argc, char **argv)
 
     std::printf("\nbest configuration: %s -> average speedup %s\n",
                 best_label.c_str(), pct(best).c_str());
+    report.write(simRunner());
     return 0;
 }

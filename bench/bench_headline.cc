@@ -6,6 +6,9 @@
  * <0.5% UL2 overhead of two depth bits per line (path reinforcement).
  * All speedups are relative to a machine that already has a stride
  * prefetcher.
+ *
+ * Three sims per workload (stride-only, stateless CDP, reinforced
+ * CDP) fan out on the shared runner; rows print in suite order.
  */
 
 #include <cstdio>
@@ -30,7 +33,6 @@ main(int argc, char **argv)
     std::printf("%-16s %14s %14s %14s\n", "benchmark", "stateless",
                 "reinforced", "reinf-delta");
 
-    std::vector<double> sp_nr, sp_rf;
     const auto names = [] {
         std::vector<std::string> all;
         for (const auto &s : table2Suite())
@@ -38,29 +40,52 @@ main(int argc, char **argv)
         return all;
     }();
 
+    std::vector<runner::SimJob> jobs;
+    jobs.reserve(names.size() * 3);
     for (const auto &name : names) {
-        SimConfig off = base;
-        off.workload = name;
-        off.cdp.enabled = false;
-        const RunResult rb = runSim(off);
+        runner::SimJob off;
+        off.cfg = base;
+        off.cfg.workload = name;
+        off.cfg.cdp.enabled = false;
+        off.tag = name + "/stride-only";
+        jobs.push_back(off);
 
-        SimConfig nr = base;
-        nr.workload = name;
-        nr.cdp.reinforce = false;
-        const RunResult rn = runSim(nr);
+        runner::SimJob nr;
+        nr.cfg = base;
+        nr.cfg.workload = name;
+        nr.cfg.cdp.reinforce = false;
+        nr.tag = name + "/stateless";
+        jobs.push_back(nr);
 
-        SimConfig rf = base;
-        rf.workload = name;
-        rf.cdp.reinforce = true;
-        const RunResult rr = runSim(rf);
+        runner::SimJob rf;
+        rf.cfg = base;
+        rf.cfg.workload = name;
+        rf.cfg.cdp.reinforce = true;
+        rf.tag = name + "/reinforced";
+        jobs.push_back(rf);
+    }
 
+    const std::vector<RunResult> res = runBatch(jobs);
+
+    runner::BenchReport report("headline");
+    std::vector<double> sp_nr, sp_rf;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const RunResult &rb = res[3 * i];
+        const RunResult &rn = res[3 * i + 1];
+        const RunResult &rr = res[3 * i + 2];
         const double s_nr = rn.speedupOver(rb);
         const double s_rf = rr.speedupOver(rb);
         sp_nr.push_back(s_nr);
         sp_rf.push_back(s_rf);
-        std::printf("%-16s %14s %14s %+13.2f%%\n", name.c_str(),
+        std::printf("%-16s %14s %14s %+13.2f%%\n", names[i].c_str(),
                     pct(s_nr).c_str(), pct(s_rf).c_str(),
                     (s_rf - s_nr) * 100.0);
+        report.row(names[i])
+            .addResult(rr)
+            .add("baseline_ipc", rb.ipc)
+            .add("stateless_ipc", rn.ipc)
+            .add("speedup_stateless", s_nr)
+            .add("speedup_reinforced", s_rf);
     }
 
     std::printf("\naverage: stateless %s (paper 11.3%%), reinforced "
@@ -69,5 +94,10 @@ main(int argc, char **argv)
     std::printf("reinforcement state cost: 2 bits per 64-byte line = "
                 "%.2f%% of the UL2\n",
                 100.0 * 2.0 / (64 * 8));
+
+    report.row("average")
+        .add("speedup_stateless", mean(sp_nr))
+        .add("speedup_reinforced", mean(sp_rf));
+    report.write(simRunner());
     return 0;
 }

@@ -6,6 +6,8 @@
  * The paper measures an average ~3% performance reduction from a
  * zero-accuracy prefetcher that fills directly into the cache,
  * motivating the need for a reasonably accurate predictor.
+ *
+ * Clean/dirty runs per workload fan out as one batch.
  */
 
 #include <cstdio>
@@ -31,24 +33,42 @@ main(int argc, char **argv)
     std::printf("%-16s %10s %10s %10s %12s\n", "benchmark",
                 "clean-ipc", "dirty-ipc", "slowdown", "injected");
 
-    std::vector<double> slowdowns;
-    for (const auto &name : benchSet()) {
-        SimConfig clean = base;
-        clean.workload = name;
-        SimConfig dirty = clean;
-        dirty.pollution.enabled = true;
+    const auto set = benchSet();
+    std::vector<runner::SimJob> jobs;
+    for (const auto &name : set) {
+        runner::SimJob clean;
+        clean.cfg = base;
+        clean.cfg.workload = name;
+        clean.tag = name + "/clean";
+        jobs.push_back(clean);
 
-        const RunResult rc = runSim(clean);
-        const RunResult rd = runSim(dirty);
+        runner::SimJob dirty = clean;
+        dirty.cfg.pollution.enabled = true;
+        dirty.tag = name + "/dirty";
+        jobs.push_back(dirty);
+    }
+    const std::vector<RunResult> res = runBatch(jobs);
+
+    runner::BenchReport report("pollution_limit");
+    std::vector<double> slowdowns;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+        const RunResult &rc = res[2 * i];
+        const RunResult &rd = res[2 * i + 1];
         const double slow = rd.speedupOver(rc);
         slowdowns.push_back(slow);
-        std::printf("%-16s %10.4f %10.4f %10s %12llu\n", name.c_str(),
-                    rc.ipc, rd.ipc, pct(slow).c_str(),
+        std::printf("%-16s %10.4f %10.4f %10s %12llu\n",
+                    set[i].c_str(), rc.ipc, rd.ipc, pct(slow).c_str(),
                     static_cast<unsigned long long>(
                         rd.mem.pollutionInjected));
+        report.row(set[i])
+            .add("clean_ipc", rc.ipc)
+            .add("dirty_ipc", rd.ipc)
+            .add("slowdown", slow)
+            .add("injected", rd.mem.pollutionInjected);
     }
 
     std::printf("\naverage change from pollution: %s (paper: ~-3%%)\n",
                 pct(mean(slowdowns)).c_str());
+    report.write(simRunner());
     return 0;
 }

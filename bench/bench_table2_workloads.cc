@@ -3,7 +3,8 @@
  * Table 2: per-benchmark uop counts and L2 MPTU at 1-MB and 4-MB UL2
  * configurations, with the paper's reported MPTU alongside for shape
  * comparison. Measured on the paper's base machine (stride prefetcher
- * on, content prefetcher off), after warm-up.
+ * on, content prefetcher off), after warm-up. The two cache sizes per
+ * workload run as independent jobs on the shared runner.
  */
 
 #include <cstdio>
@@ -52,26 +53,45 @@ main(int argc, char **argv)
                 "uops", "mptu@1MB", "paper@1MB", "mptu@4MB",
                 "paper@4MB");
 
+    std::vector<runner::SimJob> jobs;
     for (const auto &spec : table2Suite()) {
-        SimConfig c1 = base;
-        c1.workload = spec.name;
-        c1.mem.l2Bytes = 1024 * 1024;
-        const RunResult r1 = runSim(c1);
+        runner::SimJob j1;
+        j1.cfg = base;
+        j1.cfg.workload = spec.name;
+        j1.cfg.mem.l2Bytes = 1024 * 1024;
+        j1.tag = spec.name + "/1MB";
+        jobs.push_back(j1);
 
-        SimConfig c4 = base;
-        c4.workload = spec.name;
-        c4.mem.l2Bytes = 4 * 1024 * 1024;
-        const RunResult r4 = runSim(c4);
+        runner::SimJob j4;
+        j4.cfg = base;
+        j4.cfg.workload = spec.name;
+        j4.cfg.mem.l2Bytes = 4 * 1024 * 1024;
+        j4.tag = spec.name + "/4MB";
+        jobs.push_back(j4);
+    }
 
-        const auto paper = paperMptu.at(spec.name);
+    const std::vector<RunResult> res = runBatch(jobs);
+
+    runner::BenchReport report("table2_workloads");
+    const auto &suite = table2Suite();
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const RunResult &r1 = res[2 * i];
+        const RunResult &r4 = res[2 * i + 1];
+        const auto paper = paperMptu.at(suite[i].name);
         std::printf("%-16s %10llu %12.3f %12.2f %12.3f %12.2f\n",
-                    spec.name.c_str(),
+                    suite[i].name.c_str(),
                     static_cast<unsigned long long>(r1.uops),
                     r1.mptu(), paper.first, r4.mptu(), paper.second);
+        report.row(suite[i].name)
+            .addResult(r1)
+            .add("mptu_4mb", r4.mptu())
+            .add("paper_mptu_1mb", paper.first)
+            .add("paper_mptu_4mb", paper.second);
     }
 
     std::printf("\nshape checks: 4-MB MPTU <= 1-MB MPTU per benchmark;"
                 "\nverilog-gate is the heaviest; b2c/proE the "
                 "lightest.\n");
+    report.write(simRunner());
     return 0;
 }

@@ -6,6 +6,8 @@
  * prefetcher's speedup barely moves (12.6% -> 12.3%), showing that
  * implicit TLB prefetching is a minor contributor and that a bigger
  * TLB cannot replace the content prefetcher.
+ *
+ * Every TLB size x workload pair fans out through runPairs().
  */
 
 #include <cstdio>
@@ -30,14 +32,27 @@ main(int argc, char **argv)
     std::printf("%-12s %12s %14s %14s\n", "dtlb", "avg-speedup",
                 "demand-walks", "prefetch-walks");
 
-    for (unsigned entries : {64u, 128u, 256u, 512u, 1024u}) {
-        std::vector<double> sp;
-        std::uint64_t dwalks = 0, pwalks = 0;
-        for (const auto &name : benchSet()) {
+    const unsigned sizes[] = {64u, 128u, 256u, 512u, 1024u};
+    const auto set = benchSet();
+
+    std::vector<SimConfig> cfgs;
+    for (unsigned entries : sizes) {
+        for (const auto &name : set) {
             SimConfig c = base;
             c.workload = name;
             c.mem.dtlbEntries = entries;
-            const PairResult pr = runPair(c);
+            cfgs.push_back(c);
+        }
+    }
+    const std::vector<PairResult> pairs = runPairs(cfgs);
+
+    runner::BenchReport report("tlb_sweep");
+    std::size_t idx = 0;
+    for (unsigned entries : sizes) {
+        std::vector<double> sp;
+        std::uint64_t dwalks = 0, pwalks = 0;
+        for (std::size_t i = 0; i < set.size(); ++i) {
+            const PairResult &pr = pairs[idx++];
             sp.push_back(pr.speedup());
             dwalks += pr.withCdp.mem.demandWalks;
             pwalks += pr.withCdp.mem.prefetchWalks;
@@ -46,10 +61,16 @@ main(int argc, char **argv)
                     pct(mean(sp)).c_str(),
                     static_cast<unsigned long long>(dwalks),
                     static_cast<unsigned long long>(pwalks));
+        report.row("dtlb" + std::to_string(entries))
+            .add("dtlb_entries", entries)
+            .add("avg_speedup", mean(sp))
+            .add("demand_walks", dwalks)
+            .add("prefetch_walks", pwalks);
     }
 
     std::printf("\nshape check: the speedup column stays roughly "
                 "constant while demand walks\nshrink with TLB size -- "
                 "the content prefetcher is not just a TLB warmer.\n");
+    report.write(simRunner());
     return 0;
 }

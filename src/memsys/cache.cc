@@ -35,20 +35,25 @@ Cache::Cache(std::uint64_t size_bytes, unsigned ways, StatGroup *stats,
     if (!isPow2(s))
         throw std::invalid_argument("Cache: set count must be pow2");
     sets = static_cast<unsigned>(s);
+    setMask = sets - 1;
     lines.resize(static_cast<std::size_t>(sets) * ways);
 }
 
 CacheLine *
 Cache::lookup(Addr addr)
 {
+    // Hot path: one shift + one mask for the set (setMask is
+    // precomputed), then a bounded pointer scan that exits on the
+    // matching way. The tag holds the full line address, so a single
+    // compare decides validity + match for valid lines.
     const Addr la = lineAlign(addr);
-    CacheLine *base = &lines[static_cast<std::size_t>(setIndex(la)) * ways];
-    for (unsigned w = 0; w < ways; ++w) {
-        CacheLine &l = base[w];
-        if (l.valid && l.tag == la) {
-            l.lruStamp = ++stamp;
+    CacheLine *const base = setBase(la);
+    CacheLine *const end = base + ways;
+    for (CacheLine *l = base; l != end; ++l) {
+        if (l->valid && l->tag == la) {
+            l->lruStamp = ++stamp;
             ++hits;
-            return &l;
+            return l;
         }
     }
     ++misses;
@@ -59,13 +64,11 @@ const CacheLine *
 Cache::probe(Addr addr) const
 {
     const Addr la = lineAlign(addr);
-    const CacheLine *base =
-        &lines[static_cast<std::size_t>(
-            (la >> lineShift) & (sets - 1)) * ways];
-    for (unsigned w = 0; w < ways; ++w) {
-        const CacheLine &l = base[w];
-        if (l.valid && l.tag == la)
-            return &l;
+    const CacheLine *const base = setBase(la);
+    const CacheLine *const end = base + ways;
+    for (const CacheLine *l = base; l != end; ++l) {
+        if (l->valid && l->tag == la)
+            return l;
     }
     return nullptr;
 }
@@ -81,7 +84,7 @@ CacheLine &
 Cache::insert(Addr addr, Eviction *evicted)
 {
     const Addr la = lineAlign(addr);
-    CacheLine *base = &lines[static_cast<std::size_t>(setIndex(la)) * ways];
+    CacheLine *base = setBase(la);
     CacheLine *victim = &base[0];
     for (unsigned w = 0; w < ways; ++w) {
         CacheLine &l = base[w];

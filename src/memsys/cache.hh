@@ -124,11 +124,26 @@ class Cache
 
     unsigned setIndex(Addr line_addr) const
     {
-        return (line_addr >> lineShift) & (sets - 1);
+        return (line_addr >> lineShift) & setMask;
+    }
+
+    /** First line of the set containing @p line_addr. */
+    CacheLine *
+    setBase(Addr line_addr)
+    {
+        return &lines[static_cast<std::size_t>(setIndex(line_addr)) *
+                      ways];
+    }
+    const CacheLine *
+    setBase(Addr line_addr) const
+    {
+        return &lines[static_cast<std::size_t>(setIndex(line_addr)) *
+                      ways];
     }
 
     unsigned ways;
     unsigned sets;
+    unsigned setMask; //!< sets - 1, precomputed (sets is pow2)
     std::vector<CacheLine> lines; // sets * ways
     std::uint64_t stamp = 0;
 

@@ -1,0 +1,167 @@
+#include "runner/report.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cdp::runner
+{
+
+namespace
+{
+
+/** JSON string escaping for the characters our tags can contain. */
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + escape(s) + "\"";
+}
+
+} // namespace
+
+ReportRow &
+ReportRow::add(const std::string &key, const std::string &value)
+{
+    fields.emplace_back(key, quoted(value));
+    return *this;
+}
+
+ReportRow &
+ReportRow::add(const std::string &key, const char *value)
+{
+    return add(key, std::string(value));
+}
+
+ReportRow &
+ReportRow::add(const std::string &key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    fields.emplace_back(key, buf);
+    return *this;
+}
+
+ReportRow &
+ReportRow::add(const std::string &key, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+    fields.emplace_back(key, buf);
+    return *this;
+}
+
+ReportRow &
+ReportRow::add(const std::string &key, int value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%d", value);
+    fields.emplace_back(key, buf);
+    return *this;
+}
+
+ReportRow &
+ReportRow::add(const std::string &key, unsigned value)
+{
+    return add(key, static_cast<std::uint64_t>(value));
+}
+
+ReportRow &
+ReportRow::addResult(const RunResult &r)
+{
+    add("workload", r.workload);
+    add("cycles", static_cast<std::uint64_t>(r.cycles));
+    add("uops", r.uops);
+    add("ipc", r.ipc);
+    add("mptu", r.mptu());
+    add("l2_demand_misses", r.mem.l2DemandMisses);
+    add("cdp_issued", r.mem.cdpIssued);
+    add("cdp_useful", r.mem.cdpUseful);
+    return *this;
+}
+
+std::string
+ReportRow::json() const
+{
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out += ", ";
+        out += quoted(fields[i].first) + ": " + fields[i].second;
+    }
+    out += "}";
+    return out;
+}
+
+BenchReport::BenchReport(std::string bench) : name(std::move(bench)) {}
+
+ReportRow &
+BenchReport::row(const std::string &tag)
+{
+    rows.emplace_back();
+    rows.back().add("tag", tag);
+    return rows.back();
+}
+
+std::string
+BenchReport::path() const
+{
+    const char *dir = std::getenv("CDP_BENCH_JSON_DIR");
+    const std::string base = dir && *dir ? std::string(dir) : ".";
+    return base + "/BENCH_" + name + ".json";
+}
+
+void
+BenchReport::write(const SimRunner &runner) const
+{
+    const std::string file = path();
+    std::FILE *f = std::fopen(file.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     file.c_str());
+        return;
+    }
+    const HarnessStats hs = runner.stats();
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"schema\": 1,\n"
+                    "  \"results\": [\n",
+                 quoted(name).c_str());
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(f, "    %s%s\n", rows[i].json().c_str(),
+                     i + 1 < rows.size() ? "," : "");
+    // The harness object is the only scheduling-dependent line in
+    // the file; keep it on one line so tooling can drop it before
+    // byte-comparing runs (see tests/runner_determinism.py).
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"harness\": {\"jobs\": %u, \"sims\": %llu, "
+                 "\"wall_seconds\": %.3f, \"sims_per_second\": "
+                 "%.2f}\n}\n",
+                 hs.jobs, static_cast<unsigned long long>(hs.sims),
+                 hs.wallSeconds, hs.simsPerSecond());
+    std::fclose(f);
+}
+
+} // namespace cdp::runner

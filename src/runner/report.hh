@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Structured result emission for the experiment harness.
+ *
+ * Every bench writes a `BENCH_<name>.json` next to its stdout table:
+ * a `results` array with one object per job (insertion-ordered keys,
+ * fixed-precision number formatting, so the bytes are a pure function
+ * of the simulated values) and a single-line `harness` object with
+ * the scheduling telemetry (worker count, wall-clock, throughput).
+ *
+ * The split is deliberate: the `results` array is covered by the
+ * `-j1` vs `-jN` byte-identity guarantee, while the `harness` line is
+ * the one place scheduling-dependent numbers are allowed. The
+ * determinism test drops that line and compares the rest bytewise.
+ *
+ * Output directory: $CDP_BENCH_JSON_DIR when set, else the current
+ * working directory.
+ */
+
+#ifndef CDP_RUNNER_REPORT_HH
+#define CDP_RUNNER_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/sim_runner.hh"
+#include "sim/simulator.hh"
+
+namespace cdp::runner
+{
+
+/**
+ * One flat key/value row of a report. Values keep their insertion
+ * order and are formatted deterministically (integers as decimal,
+ * doubles with six fractional digits).
+ */
+class ReportRow
+{
+  public:
+    ReportRow &add(const std::string &key, const std::string &value);
+    ReportRow &add(const std::string &key, const char *value);
+    ReportRow &add(const std::string &key, double value);
+    ReportRow &add(const std::string &key, std::uint64_t value);
+    ReportRow &add(const std::string &key, int value);
+    ReportRow &add(const std::string &key, unsigned value);
+
+    /**
+     * Append the standard per-run fields (workload, cycles, uops,
+     * ipc, mptu, l2 misses, cdp issued/useful).
+     */
+    ReportRow &addResult(const RunResult &r);
+
+    /** Serialize as a single-line JSON object. */
+    std::string json() const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/**
+ * Collector for one bench's structured output. Rows are emitted in
+ * the order they were added — callers add them in submission order,
+ * which keeps the file deterministic under any `-j`.
+ */
+class BenchReport
+{
+  public:
+    /** @param bench short name; the file is BENCH_<bench>.json. */
+    explicit BenchReport(std::string bench);
+
+    /** Add one job row; returns it for field chaining. */
+    ReportRow &row(const std::string &tag);
+
+    /**
+     * Write BENCH_<bench>.json including the harness telemetry of
+     * @p runner. Emission failures print a warning to stderr rather
+     * than aborting the bench (the stdout table already happened).
+     */
+    void write(const SimRunner &runner) const;
+
+    /** The path the report will be written to. */
+    std::string path() const;
+
+  private:
+    std::string name;
+    std::vector<ReportRow> rows;
+};
+
+} // namespace cdp::runner
+
+#endif // CDP_RUNNER_REPORT_HH

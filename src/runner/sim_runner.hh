@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Parallel experiment runner: fans independent `Simulator` instances
+ * out over a work-stealing thread pool and hands the results back in
+ * deterministic submission order.
+ *
+ * The determinism contract is the point of the design: a batch of
+ * SimJobs produces exactly the same result vector — and therefore
+ * byte-identical bench stdout and JSON — at `-j1` and `-j64`. That
+ * holds because each Simulator is a self-contained machine (no
+ * globals, per-instance RNGs and stats) and because results are
+ * returned indexed by submission position, never by completion order.
+ * Anything scheduling-dependent (wall-clock, throughput, progress)
+ * goes to stderr or the report's single-line "harness" object only.
+ *
+ * Worker count: the `-j` flag (parseJobsFlag) wins, then the
+ * CDP_JOBS environment variable, then hardware_concurrency.
+ */
+
+#ifndef CDP_RUNNER_SIM_RUNNER_HH
+#define CDP_RUNNER_SIM_RUNNER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/thread_pool.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+
+namespace cdp::runner
+{
+
+/** One simulation to run: a full config plus a label. */
+struct SimJob
+{
+    SimConfig cfg;
+    /** Tag shown in progress lines and result reports. */
+    std::string tag;
+
+    /**
+     * Run: the paper's two-phase warmup/measure experiment.
+     * Whole: warmup+measure as one counted phase (tuning benches).
+     */
+    enum class Mode { Run, Whole } mode = Mode::Run;
+};
+
+/** Scheduling-side telemetry accumulated across batches. */
+struct HarnessStats
+{
+    unsigned jobs = 1;          //!< worker threads
+    std::uint64_t sims = 0;     //!< simulations completed
+    double wallSeconds = 0.0;   //!< time spent inside batches
+
+    double
+    simsPerSecond() const
+    {
+        return wallSeconds > 0.0
+                   ? static_cast<double>(sims) / wallSeconds
+                   : 0.0;
+    }
+};
+
+/**
+ * Runs batches of SimJobs (or arbitrary per-index tasks) on an
+ * internal ThreadPool and reports progress on stderr.
+ */
+class SimRunner
+{
+  public:
+    /** @param jobs worker count; 0 = CDP_JOBS / hardware default. */
+    explicit SimRunner(unsigned jobs = 0);
+
+    /**
+     * Run every job and return results in submission order.
+     * Worker exceptions are rethrown (lowest submission index first)
+     * after the batch drains.
+     */
+    std::vector<RunResult> run(const std::vector<SimJob> &jobs);
+
+    /**
+     * Generic ordered fan-out for tasks that are not a plain
+     * config-in/result-out simulation (paired runs, chunked traces,
+     * stats captures). @p fn receives the job index; results come
+     * back indexed by it. Counts one sim per task unless the task
+     * reports more via noteExtraSims().
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        const Timer t(*this);
+        beginBatch(n);
+        auto out = orderedMap(pool, n, [&](std::size_t i) {
+            auto r = fn(i);
+            noteDone("");
+            return r;
+        });
+        return out;
+    }
+
+    /**
+     * Credit @p n additional simulations to the throughput counter
+     * (for tasks that run more than one Simulator).
+     */
+    void
+    noteExtraSims(std::uint64_t n)
+    {
+        simCount += n;
+    }
+
+    unsigned jobCount() const { return pool.workerCount(); }
+
+    /** Telemetry over every batch run so far. */
+    HarnessStats stats() const;
+
+  private:
+    /** RAII wall-clock accumulation around one batch. */
+    class Timer
+    {
+      public:
+        explicit Timer(SimRunner &r);
+        ~Timer();
+
+      private:
+        SimRunner &runner;
+        std::chrono::steady_clock::time_point start;
+    };
+
+    void beginBatch(std::size_t total);
+    void noteDone(const std::string &tag);
+
+    ThreadPool pool;
+    std::atomic<std::uint64_t> simCount{0};
+    std::atomic<std::uint64_t> batchDone{0};
+    std::size_t batchTotal = 0;
+    std::atomic<std::uint64_t> wallMicros{0};
+    bool progressTty;
+};
+
+/**
+ * Strip a trailing/leading `-jN` or `--jobs=N` from @p argv (mutating
+ * argc/argv in place) and return N; 0 when no flag was given.
+ * Malformed values throw std::invalid_argument.
+ */
+unsigned parseJobsFlag(int &argc, char **argv);
+
+} // namespace cdp::runner
+
+#endif // CDP_RUNNER_SIM_RUNNER_HH

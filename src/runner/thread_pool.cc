@@ -1,0 +1,111 @@
+#include "runner/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace cdp::runner
+{
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    if (const char *env = std::getenv("CDP_JOBS")) {
+        try {
+            const long v = std::stol(env);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+        } catch (...) {
+            // Fall through to hardware_concurrency on garbage.
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    const unsigned n = workers > 0 ? workers : defaultWorkers();
+    queues.resize(n);
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        queues[nextQueue].push_back(std::move(task));
+        nextQueue = (nextQueue + 1) % queues.size();
+        ++inflight;
+    }
+    cvWork.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    cvIdle.wait(lk, [this] { return inflight == 0; });
+}
+
+bool
+ThreadPool::takeTask(std::size_t self, Task &out)
+{
+    auto &own = queues[self];
+    if (!own.empty()) {
+        out = std::move(own.front());
+        own.pop_front();
+        return true;
+    }
+    for (std::size_t k = 1; k < queues.size(); ++k) {
+        auto &victim = queues[(self + k) % queues.size()];
+        if (!victim.empty()) {
+            out = std::move(victim.back());
+            victim.pop_back();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cvWork.wait(lk, [&] {
+                return takeTask(self, task) || stopping;
+            });
+            if (!task) {
+                // Woken by stop with every deque empty.
+                return;
+            }
+        }
+        task();
+        bool idle = false;
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            idle = --inflight == 0;
+        }
+        if (idle)
+            cvIdle.notify_all();
+    }
+}
+
+} // namespace cdp::runner

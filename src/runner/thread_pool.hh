@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A small work-stealing thread pool for fanning independent
+ * simulations out across cores.
+ *
+ * Each worker owns a deque; submit() deals tasks round-robin, a
+ * worker pops from the front of its own deque and, when that runs
+ * dry, steals from the back of a sibling's. Tasks are opaque
+ * `std::function<void()>`s; ordering and exception transport are
+ * layered on top by orderedMap(), which is what the experiment
+ * harness uses (results land in submission order, so bench output is
+ * byte-identical no matter how many workers run).
+ *
+ * The pool never runs tasks on the submitting thread; a pool of one
+ * worker therefore serializes the batch in submission order, which is
+ * the `-j1` reference ordering the determinism tests compare against.
+ */
+
+#ifndef CDP_RUNNER_THREAD_POOL_HH
+#define CDP_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cdp::runner
+{
+
+/**
+ * Fixed-size pool of `std::thread` workers with per-worker deques and
+ * sibling stealing. The destructor drains: every task submitted
+ * before destruction runs to completion.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param workers worker count; 0 means defaultWorkers(). */
+    explicit ThreadPool(unsigned workers = 0);
+
+    /** Drains the queues, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task. Tasks must not throw (wrap with orderedMap for
+     * exception transport) and must not block on other tasks in the
+     * same pool (the harness never nests batches).
+     */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void waitIdle();
+
+    unsigned workerCount() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+    /**
+     * The job count the environment asks for: CDP_JOBS when set to a
+     * positive integer, else std::thread::hardware_concurrency(),
+     * never less than 1.
+     */
+    static unsigned defaultWorkers();
+
+  private:
+    void workerLoop(std::size_t self);
+
+    /** Pop own front / steal sibling back; caller holds the lock. */
+    bool takeTask(std::size_t self, Task &out);
+
+    // One mutex guards all deques: sim tasks run for milliseconds to
+    // seconds, so queue-transfer contention is noise. The stealing
+    // *policy* (own front, sibling back) is what spreads a burst of
+    // submissions evenly when workers finish out of step.
+    std::mutex mtx;
+    std::condition_variable cvWork;
+    std::condition_variable cvIdle;
+    std::vector<std::deque<Task>> queues;
+    std::vector<std::thread> threads;
+    std::size_t nextQueue = 0; //!< round-robin deal position
+    std::size_t inflight = 0;  //!< submitted, not yet finished
+    bool stopping = false;
+};
+
+/**
+ * Run fn(0..n-1) on @p pool and return the results indexed by i —
+ * submission order, independent of worker count or completion order.
+ * The first (lowest-index) exception a task threw is rethrown after
+ * the whole batch has drained; the partial results are discarded.
+ */
+template <typename Fn>
+auto
+orderedMap(ThreadPool &pool, std::size_t n, Fn fn)
+    -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+{
+    using R = std::invoke_result_t<Fn &, std::size_t>;
+    static_assert(std::is_default_constructible_v<R>,
+                  "orderedMap results must be default-constructible");
+    std::vector<R> out(n);
+    std::vector<std::exception_ptr> errors(n);
+
+    struct Latch
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        std::size_t remaining;
+    };
+    // Shared ownership: the waiter may wake and leave this scope the
+    // instant the count hits zero, while the final worker is still
+    // inside notify_one(); the last owner (worker or waiter) destroys
+    // the latch, never underneath the other.
+    auto latch = std::make_shared<Latch>();
+    latch->remaining = n;
+
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&, i, latch] {
+            try {
+                out[i] = fn(i);
+            } catch (...) {
+                errors[i] = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lk(latch->m);
+                --latch->remaining;
+            }
+            latch->cv.notify_one();
+        });
+    }
+    {
+        std::unique_lock<std::mutex> lk(latch->m);
+        latch->cv.wait(lk, [&] { return latch->remaining == 0; });
+    }
+    for (auto &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+    return out;
+}
+
+} // namespace cdp::runner
+
+#endif // CDP_RUNNER_THREAD_POOL_HH

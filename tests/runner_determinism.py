@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Determinism gate for the parallel experiment runner.
+
+Runs a bench harness at -j1 and -j8 and requires:
+
+  * byte-identical stdout, and
+  * identical BENCH_<name>.json files once the single scheduling-
+    dependent "harness" line is dropped.
+
+Usage: runner_determinism.py <bench-binary> [more benches ...]
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run(bench, jobs, json_dir):
+    env = dict(os.environ)
+    env["CDP_SCALE"] = env.get("CDP_DETERMINISM_SCALE", "0.02")
+    env["CDP_BENCH_JSON_DIR"] = json_dir
+    env.pop("CDP_JOBS", None)
+    proc = subprocess.run(
+        [bench, "-j%d" % jobs],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+def stable_json_lines(json_dir):
+    out = {}
+    for name in sorted(os.listdir(json_dir)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(json_dir, name), "rb") as f:
+            lines = [l for l in f.read().splitlines()
+                     if b'"harness"' not in l]
+        out[name] = lines
+    return out
+
+
+def check(bench):
+    with tempfile.TemporaryDirectory() as d1, \
+            tempfile.TemporaryDirectory() as d2:
+        serial = run(bench, 1, d1)
+        wide = run(bench, 8, d2)
+        if serial != wide:
+            sys.stderr.write(
+                "%s: stdout differs between -j1 and -j8\n" % bench)
+            return False
+        j1, j8 = stable_json_lines(d1), stable_json_lines(d2)
+        if sorted(j1) != sorted(j8):
+            sys.stderr.write(
+                "%s: JSON file sets differ: %s vs %s\n"
+                % (bench, sorted(j1), sorted(j8)))
+            return False
+        if not j1:
+            sys.stderr.write("%s: no JSON emitted\n" % bench)
+            return False
+        for name in j1:
+            if j1[name] != j8[name]:
+                sys.stderr.write(
+                    "%s: %s differs between -j1 and -j8\n"
+                    % (bench, name))
+                return False
+    print("%s: -j1 and -j8 byte-identical" % os.path.basename(bench))
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.stderr.write(__doc__)
+        return 2
+    ok = all([check(bench) for bench in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

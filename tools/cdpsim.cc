@@ -9,11 +9,16 @@
  *
  * Usage:
  *   cdpsim [key=value ...] [--workloads=a,b,c] [--csv] [--stats]
- *          [--capture=PATH]
+ *          [--capture=PATH] [-jN|--jobs=N]
+ *
+ * Multiple workloads fan out over the parallel experiment runner
+ * (src/runner): `-jN` (or CDP_JOBS=N) picks the worker count, rows
+ * always print in the order the workloads were listed, so the output
+ * is byte-identical at any job count.
  *
  * Examples:
  *   cdpsim workload=tpcc-2 --stats
- *   cdpsim --workloads=all --csv cdp.depth=5 > sweep.csv
+ *   cdpsim --workloads=all --csv -j8 cdp.depth=5 > sweep.csv
  *   cdpsim workload=verilog-gate --capture=/tmp/vg.cdpt
  */
 
@@ -25,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/sim_runner.hh"
 #include "sim/memory_system.hh"
 #include "sim/simulator.hh"
 #include "trace/trace.hh"
@@ -41,6 +47,7 @@ struct Options
     bool csv = false;
     bool stats = false;
     std::string capturePath;
+    unsigned jobs = 0; //!< runner workers; 0 = CDP_JOBS / hardware
 };
 
 void
@@ -49,7 +56,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: cdpsim [key=value ...] [--workloads=a,b,c|all]\n"
-        "              [--csv] [--stats] [--capture=PATH]\n"
+        "              [--csv] [--stats] [--capture=PATH] "
+        "[-jN|--jobs=N]\n"
         "keys: see src/sim/config.cc (e.g. cdp.depth=5, "
         "mem.l2_kb=512,\n      workload=tpcc-2, measure_uops=2000000)\n");
 }
@@ -58,6 +66,7 @@ Options
 parse(int argc, char **argv)
 {
     Options opt;
+    opt.jobs = runner::parseJobsFlag(argc, argv);
     std::vector<char *> cfg_args;
     cfg_args.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -165,17 +174,38 @@ main(int argc, char **argv)
         else
             std::fprintf(stderr, "%s\n\n", opt.cfg.summary().c_str());
 
-        for (const auto &name : opt.workloads) {
-            SimConfig c = opt.cfg;
-            c.workload = name;
-            Simulator sim(c);
-            const RunResult r = sim.run();
+        // Fan the workloads out; each task also captures its stats
+        // dump as text so rows and dumps print in listing order no
+        // matter which worker finished first.
+        struct Row
+        {
+            RunResult result;
+            std::string statsDump;
+        };
+        runner::SimRunner pool(opt.jobs);
+        const auto rows =
+            pool.map(opt.workloads.size(), [&](std::size_t i) {
+                SimConfig c = opt.cfg;
+                c.workload = opt.workloads[i];
+                Simulator sim(c);
+                Row row;
+                row.result = sim.run();
+                if (opt.stats) {
+                    std::ostringstream os;
+                    sim.stats().dump(os);
+                    row.statsDump = os.str();
+                }
+                return row;
+            });
+
+        for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
+            const RunResult &r = rows[i].result;
             if (opt.csv) {
                 printCsvRow(r);
             } else {
                 std::printf("%-16s ipc %8.4f  mptu %8.3f  cycles "
                             "%12llu  cdp(issued %llu useful %llu)\n",
-                            name.c_str(), r.ipc, r.mptu(),
+                            opt.workloads[i].c_str(), r.ipc, r.mptu(),
                             static_cast<unsigned long long>(r.cycles),
                             static_cast<unsigned long long>(
                                 r.mem.cdpIssued),
@@ -184,8 +214,8 @@ main(int argc, char **argv)
             }
             if (opt.stats) {
                 std::printf("---- full statistics: %s ----\n",
-                            name.c_str());
-                sim.stats().dump(std::cout);
+                            opt.workloads[i].c_str());
+                std::fputs(rows[i].statsDump.c_str(), stdout);
             }
         }
         return 0;

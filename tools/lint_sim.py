@@ -22,6 +22,16 @@ Rules (each can be waived per line with a trailing comment
                     subtraction yields a silent ~2^64 latency instead
                     of an error.
 
+  static-mutable    No function-local (or otherwise scope-indented)
+                    ``static`` mutable state in src/ or bench/.
+                    Simulations fan out across worker threads (see
+                    src/runner), so hidden per-process state breaks
+                    both thread-safety and the "-j1 == -jN"
+                    determinism contract. ``static const`` /
+                    ``constexpr`` data and static member *functions*
+                    are fine; shared state must be an explicit
+                    namespace-scope object with documented locking.
+
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
 errors.
 """
@@ -173,6 +183,37 @@ class Linter:
                     "common/types.hh")
 
 
+    # -- static-mutable ----------------------------------------------
+
+    def check_static_mutable(self, path: Path) -> None:
+        decl_re = re.compile(r"^\s+static\s+(.*)$")
+        for lineno, raw, code in iter_code_lines(path):
+            m = decl_re.match(code)
+            if not m:
+                continue
+            if WAIVER.search(raw) and "static-mutable" in raw:
+                continue
+            rest = m.group(1)
+            # Immutable state is safe to share between workers.
+            if re.search(r"\bconst\b|\bconstexpr\b|\bconsteval\b",
+                         rest):
+                continue
+            # A parameter list that opens before any initializer means
+            # this is a static member *function*, not state. (A
+            # paren-initialized static variable slips through this —
+            # brace- or =-initialize statics so the linter can see
+            # them.)
+            paren = rest.find("(")
+            init = re.search(r"[={]", rest)
+            if paren >= 0 and (init is None or paren < init.start()):
+                continue
+            self.report(
+                path, lineno, "static-mutable",
+                "function-local static mutable state; sims run "
+                "concurrently (src/runner) — hoist to an explicit "
+                "synchronized namespace-scope object or make it const")
+
+
 def main(argv: list[str]) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("paths", nargs="*", default=["src"],
@@ -196,6 +237,7 @@ def main(argv: list[str]) -> int:
             linter.check_stats_registered(f)
         linter.check_raw_new_delete(f)
         linter.check_cycle_arith(f)
+        linter.check_static_mutable(f)
 
     for finding in linter.findings:
         print(finding)

@@ -69,25 +69,27 @@ ContentPrefetcher::scanFill(const std::uint8_t *line, Addr trigger_ea,
     std::unordered_set<Addr> seen;
     seen.insert(trigger_line); // never re-request the line in hand
 
+    unsigned hop = 0; // provenance hop index, scan-emission order
     for (Addr target : predictor.scanLine(line, trigger_ea)) {
         ++candidates;
         const Addr target_line = lineAlign(target);
         if (seen.insert(target_line).second) {
-            out.push_back({target, target_line, child_depth, false});
+            out.push_back({target, target_line, child_depth, false,
+                           hop++});
         }
         if (!emit_width)
             continue;
         for (unsigned p = 1; p <= cfg.prevLines; ++p) {
             const Addr l = target_line - p * lineBytes;
             if (l < target_line && seen.insert(l).second) {
-                out.push_back({target, l, child_depth, true});
+                out.push_back({target, l, child_depth, true, hop++});
                 ++widthEmitted;
             }
         }
         for (unsigned n = 1; n <= cfg.nextLines; ++n) {
             const Addr l = target_line + n * lineBytes;
             if (l > target_line && seen.insert(l).second) {
-                out.push_back({target, l, child_depth, true});
+                out.push_back({target, l, child_depth, true, hop++});
                 ++widthEmitted;
             }
         }

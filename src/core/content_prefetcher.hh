@@ -90,6 +90,13 @@ struct CdpCandidate
     Addr lineVa = 0;     //!< line to fetch (candidate or next/prev line)
     unsigned depth = 0;  //!< request depth to assign
     bool widthLine = false; //!< true for next/prev-line companions
+    /**
+     * Provenance hop: this candidate's index within the scan that
+     * emitted it (width companions count). Combined with the fill's
+     * root id, (root, depth, hop) uniquely names the chain position
+     * of every derived prefetch (see src/obs/event.hh).
+     */
+    unsigned hop = 0;
 };
 
 /**

@@ -105,6 +105,8 @@ Cache::insert(Addr addr, Eviction *evicted)
         evicted->lineAddr = victim->tag;
         evicted->prefetched = victim->prefetched;
         evicted->fillType = victim->fillType;
+        evicted->fillDepth = victim->fillDepth;
+        evicted->everUsed = victim->everUsed;
     }
     if (victim->valid && victim->tag != la)
         ++evictions;
@@ -115,6 +117,8 @@ Cache::insert(Addr addr, Eviction *evicted)
     victim->prefetched = false;
     victim->fillType = ReqType::DemandLoad;
     victim->storedDepth = 0;
+    victim->fillDepth = 0;
+    victim->provRoot = 0;
     victim->fillCycle = 0;
     victim->everUsed = false;
     victim->strideOverlap = false;

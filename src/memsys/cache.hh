@@ -42,6 +42,14 @@ struct CacheLine
     ReqType fillType = ReqType::DemandLoad;
     /** Stored request depth (the reinforcement tag). */
     std::uint8_t storedDepth = 0;
+    /**
+     * Depth at fill time, never promoted afterwards; per-depth
+     * accuracy/pollution stats attribute against this, not the
+     * mutable storedDepth.
+     */
+    std::uint8_t fillDepth = 0;
+    /** Provenance root of the fill (see MshrEntry::root). */
+    ReqId provRoot = 0;
     /** Cycle the fill completed (for timeliness accounting). */
     Cycle fillCycle = 0;
     /** Whether any demand ever touched the line (accuracy stats). */
@@ -60,6 +68,8 @@ struct Eviction
     Addr lineAddr = 0;
     bool prefetched = false;   //!< victim was an unused prefetch
     ReqType fillType = ReqType::DemandLoad;
+    std::uint8_t fillDepth = 0; //!< victim's depth at fill time
+    bool everUsed = false;      //!< a demand touched the victim
 };
 
 /**

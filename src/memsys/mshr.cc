@@ -66,6 +66,9 @@ MshrFile::promote(Addr line_pa, unsigned new_depth, Addr new_vaddr)
     MshrEntry *e = find(line_pa);
     if (!e || !isPrefetch(e->type))
         return false;
+    // Provenance (id/root/hop) deliberately survives the promotion:
+    // the fill is still the chain's transaction, it merely completes
+    // at demand priority now.
     e->type = ReqType::DemandLoad;
     e->depth = new_depth;
     e->vaddr = new_vaddr;

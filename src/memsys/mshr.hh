@@ -41,6 +41,16 @@ struct MshrEntry
     Addr vaddr = 0;
     ReqType type = ReqType::DemandLoad;
     unsigned depth = 0;
+    /** Transaction id (assigned by the memory system at creation). */
+    ReqId id = 0;
+    /**
+     * Provenance root: the demand miss this transaction descends
+     * from (own id for demands; see MemRequest::root). Survives
+     * merging and promotion so fills stay attributable.
+     */
+    ReqId root = 0;
+    /** Provenance hop index (see MemRequest::hop). */
+    unsigned hop = 0;
     /** Cycle the fill data arrives (bus completion). */
     Cycle completion = 0;
     /** A demand matched this entry while it was a prefetch. */

@@ -94,6 +94,14 @@ struct MemRequest
      * by a demand miss, +1 per chained prefetch (Section 3.4.1).
      */
     unsigned depth = 0;
+    /**
+     * Provenance root: ReqId of the demand miss whose fill (directly
+     * or through chained scans) spawned this request. A demand is its
+     * own root. 0 = unattributed (e.g. injected pollution).
+     */
+    ReqId root = 0;
+    /** Provenance hop: index within the scan that emitted it. */
+    unsigned hop = 0;
     /** Next/prev-line companion of a candidate (width prefetch). */
     bool widthLine = false;
     Cycle enqueued = 0; //!< cycle the request entered its arbiter

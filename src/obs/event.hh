@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-request lifecycle events for the observability layer.
+ *
+ * Every memory transaction — demand, stride, content, page walk,
+ * injected pollution — emits a small fixed-size event at each station
+ * of its life: arbiter enqueue, grant, drop, bus issue, fill, VAM
+ * scan, MSHR merge/promotion, and depth reinforcement. Each event
+ * carries the request's *provenance id*:
+ *
+ *   (root, depth, hop)
+ *
+ * where `root` is the ReqId of the demand miss whose fill ultimately
+ * spawned the request (a demand is its own root), `depth` is the
+ * chain depth (0 demand, 1 first-generation prefetch, +1 per chained
+ * hop — Section 3.4.1), and `hop` is the candidate's index within the
+ * scan that emitted it. The triple answers "which demand miss spawned
+ * this prefetch, how deep in the chain is it, and which scan slot did
+ * it come from" for every derived request, which is exactly the
+ * attribution the end-of-run aggregates cannot provide.
+ *
+ * TraceEvent is a POD with fixed 40-byte layout; the binary trace
+ * file (tools/cdptrace, obs/trace_io.hh) serializes the struct
+ * directly.
+ */
+
+#ifndef CDP_OBS_EVENT_HH
+#define CDP_OBS_EVENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "memsys/request.hh"
+
+namespace cdp::obs
+{
+
+/** Lifecycle station that emitted the event. */
+enum class EventKind : std::uint8_t
+{
+    DemandMiss,  //!< demand missed the DL1 and heads for the UL2
+    ArbEnqueue,  //!< prefetch entered the L2 arbiter
+    ArbGrant,    //!< prefetch dequeued from the arbiter toward the bus
+    Drop,        //!< request squashed (aux = DropReason)
+    Issue,       //!< MSHR allocated, bus transfer scheduled
+    Merge,       //!< demand merged with an in-flight demand fill
+    Promote,     //!< demand promoted an in-flight prefetch (Sec. 3.5)
+    Fill,        //!< fill completed, line inserted into the UL2
+    Scan,        //!< VAM scanned a fill (aux = candidates emitted)
+    Reinforce,   //!< depth-tag promotion on a hit (aux = old depth)
+};
+
+/** Why a request was squashed (aux payload of EventKind::Drop). */
+enum class DropReason : std::uint8_t
+{
+    QueuedDup,   //!< same line already waiting in the arbiter
+    ArbFull,     //!< arbiter queue full
+    L2Hit,       //!< target line already resident
+    Inflight,    //!< matching transaction already in flight
+    BusFull,     //!< prefetch outstandingness cap reached
+    Unmapped,    //!< candidate points at unmapped memory
+};
+
+/** Human-readable event-kind name (JSON sinks and summaries). */
+inline const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::DemandMiss: return "demand-miss";
+      case EventKind::ArbEnqueue: return "arb-enqueue";
+      case EventKind::ArbGrant: return "arb-grant";
+      case EventKind::Drop: return "drop";
+      case EventKind::Issue: return "issue";
+      case EventKind::Merge: return "merge";
+      case EventKind::Promote: return "promote";
+      case EventKind::Fill: return "fill";
+      case EventKind::Scan: return "scan";
+      case EventKind::Reinforce: return "reinforce";
+    }
+    return "?";
+}
+
+/** Human-readable drop-reason name. */
+inline const char *
+dropReasonName(DropReason r)
+{
+    switch (r) {
+      case DropReason::QueuedDup: return "queued-dup";
+      case DropReason::ArbFull: return "arb-full";
+      case DropReason::L2Hit: return "l2-hit";
+      case DropReason::Inflight: return "inflight";
+      case DropReason::BusFull: return "bus-full";
+      case DropReason::Unmapped: return "unmapped";
+    }
+    return "?";
+}
+
+/**
+ * One lifecycle event. Fixed 40-byte POD; written to the binary
+ * trace verbatim (little-endian hosts only, like trace/trace.hh).
+ */
+struct TraceEvent
+{
+    Cycle cycle = 0;          //!< simulated cycle of the event
+    ReqId id = 0;             //!< transaction id (0 = not yet assigned)
+    ReqId root = 0;           //!< provenance root (demand miss ReqId)
+    Addr addr = 0;            //!< line address (VA pre-, PA post-translate)
+    std::uint32_t aux = 0;    //!< DropReason / scan candidates / old depth
+    std::uint8_t kind = 0;    //!< EventKind
+    std::uint8_t rtype = 0;   //!< ReqType
+    std::uint8_t depth = 0;   //!< provenance chain depth
+    std::uint8_t hop = 0;     //!< provenance hop index (clamped to 255)
+    std::uint8_t pad[4] = {}; //!< explicit padding, always zero
+
+    EventKind kindOf() const { return static_cast<EventKind>(kind); }
+    ReqType typeOf() const { return static_cast<ReqType>(rtype); }
+    DropReason dropOf() const { return static_cast<DropReason>(aux); }
+};
+
+static_assert(sizeof(TraceEvent) == 40,
+              "trace event must be exactly 40 bytes (binary format)");
+
+} // namespace cdp::obs
+
+#endif // CDP_OBS_EVENT_HH

@@ -1,0 +1,216 @@
+#include "obs/trace_io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cdp::obs
+{
+
+namespace
+{
+
+void
+writeU32(std::FILE *f, std::uint32_t v)
+{
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1)
+        throw std::runtime_error("trace_io: short write");
+}
+
+void
+writeU64(std::FILE *f, std::uint64_t v)
+{
+    if (std::fwrite(&v, sizeof(v), 1, f) != 1)
+        throw std::runtime_error("trace_io: short write");
+}
+
+std::uint32_t
+readU32(std::FILE *f)
+{
+    std::uint32_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1)
+        throw std::runtime_error("trace_io: short read");
+    return v;
+}
+
+std::uint64_t
+readU64(std::FILE *f)
+{
+    std::uint64_t v = 0;
+    if (std::fread(&v, sizeof(v), 1, f) != 1)
+        throw std::runtime_error("trace_io: short read");
+    return v;
+}
+
+/** RAII fclose so error paths cannot leak the handle. */
+struct FileCloser
+{
+    std::FILE *f;
+    ~FileCloser()
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+/** Escape for JSON string values (our names are ASCII). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Shared "args" object: provenance + address for one event. */
+std::string
+argsJson(const TraceEvent &e)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\": %llu, \"root\": %llu, \"depth\": %u, "
+                  "\"hop\": %u, \"addr\": \"0x%08x\"",
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.root),
+                  static_cast<unsigned>(e.depth),
+                  static_cast<unsigned>(e.hop),
+                  static_cast<unsigned>(e.addr));
+    std::string out = buf;
+    if (e.kindOf() == EventKind::Drop) {
+        out += std::string(", \"reason\": \"") +
+               dropReasonName(e.dropOf()) + "\"";
+    } else if (e.kindOf() == EventKind::Scan ||
+               e.kindOf() == EventKind::Reinforce) {
+        std::snprintf(buf, sizeof(buf), ", \"aux\": %u", e.aux);
+        out += buf;
+    }
+    out += "}";
+    return out;
+}
+
+void
+emitEvent(std::ostream &os, const char *ph, const std::string &name,
+          const char *cat, Cycle ts, std::uint64_t tid,
+          const std::string &args, bool &first)
+{
+    if (!first)
+        os << ",\n";
+    first = false;
+    os << "    {\"name\": \"" << jsonEscape(name) << "\", \"cat\": \""
+       << cat << "\", \"ph\": \"" << ph << "\", \"ts\": " << ts
+       << ", \"pid\": 0, \"tid\": " << tid;
+    if (ph[0] == 'i')
+        os << ", \"s\": \"t\"";
+    if (!args.empty())
+        os << ", \"args\": " << args;
+    os << "}";
+}
+
+} // namespace
+
+void
+writeBinaryTrace(const std::string &path,
+                 const std::vector<TraceEvent> &events,
+                 std::uint64_t dropped, const std::string &tag)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw std::runtime_error("trace_io: cannot open for write: " +
+                                 path);
+    FileCloser closer{f};
+    writeU32(f, traceEventMagic);
+    writeU32(f, traceEventVersion);
+    writeU64(f, events.size());
+    writeU64(f, dropped);
+    writeU32(f, static_cast<std::uint32_t>(tag.size()));
+    if (!tag.empty() &&
+        std::fwrite(tag.data(), 1, tag.size(), f) != tag.size())
+        throw std::runtime_error("trace_io: short write (tag)");
+    if (!events.empty() &&
+        std::fwrite(events.data(), sizeof(TraceEvent), events.size(),
+                    f) != events.size())
+        throw std::runtime_error("trace_io: short write (events)");
+}
+
+LoadedTrace
+readBinaryTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error("trace_io: cannot open for read: " +
+                                 path);
+    FileCloser closer{f};
+    if (readU32(f) != traceEventMagic)
+        throw std::runtime_error("trace_io: bad magic in " + path);
+    if (readU32(f) != traceEventVersion)
+        throw std::runtime_error("trace_io: unsupported version in " +
+                                 path);
+    LoadedTrace t;
+    const std::uint64_t count = readU64(f);
+    t.dropped = readU64(f);
+    const std::uint32_t tag_len = readU32(f);
+    t.tag.resize(tag_len);
+    if (tag_len &&
+        std::fread(t.tag.data(), 1, tag_len, f) != tag_len)
+        throw std::runtime_error("trace_io: short read (tag)");
+    t.events.resize(count);
+    if (count &&
+        std::fread(t.events.data(), sizeof(TraceEvent), count, f) !=
+            count)
+        throw std::runtime_error("trace_io: truncated events in " +
+                                 path);
+    return t;
+}
+
+void
+writeChromeJson(std::ostream &os, const LoadedTrace &trace)
+{
+    // Stable sort keeps record order among same-cycle events, so the
+    // output is a pure function of the trace contents.
+    std::vector<TraceEvent> sorted = trace.events;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+
+    os << "{\n  \"displayTimeUnit\": \"ns\",\n"
+       << "  \"otherData\": {\"tool\": \"cdptrace\", \"tag\": \""
+       << jsonEscape(trace.tag) << "\", \"dropped\": " << trace.dropped
+       << "},\n  \"traceEvents\": [\n";
+    bool first = true;
+    for (const TraceEvent &e : sorted) {
+        const std::string name = std::string(reqTypeName(e.typeOf())) +
+                                 " d" + std::to_string(e.depth);
+        switch (e.kindOf()) {
+          case EventKind::Issue:
+            // One duration track per transaction: tid = request id,
+            // so the B/E pair trivially nests and never interleaves
+            // with another request's pair.
+            emitEvent(os, "B", name, "req", e.cycle, e.id,
+                      argsJson(e), first);
+            break;
+          case EventKind::Fill:
+            emitEvent(os, "E", name, "req", e.cycle, e.id, "", first);
+            break;
+          default:
+            emitEvent(os, "i", eventKindName(e.kindOf()), "mark",
+                      e.cycle, e.id, argsJson(e), first);
+            break;
+        }
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace cdp::obs

@@ -89,6 +89,24 @@ ReportRow::add(const std::string &key, unsigned value)
     return add(key, static_cast<std::uint64_t>(value));
 }
 
+namespace
+{
+
+/** "a/b/c/..." join of one per-depth provenance counter array. */
+std::string
+joinDepths(const std::uint64_t (&v)[provDepthBuckets])
+{
+    std::string out;
+    for (unsigned i = 0; i < provDepthBuckets; ++i) {
+        if (i)
+            out += "/";
+        out += std::to_string(v[i]);
+    }
+    return out;
+}
+
+} // namespace
+
 ReportRow &
 ReportRow::addResult(const RunResult &r)
 {
@@ -100,6 +118,14 @@ ReportRow::addResult(const RunResult &r)
     add("l2_demand_misses", r.mem.l2DemandMisses);
     add("cdp_issued", r.mem.cdpIssued);
     add("cdp_useful", r.mem.cdpUseful);
+    // Provenance block: per-depth counts joined "d0/d1/.../d5+" so
+    // the row stays flat and byte-deterministic.
+    add("prov_accurate", joinDepths(r.mem.depthAccurate));
+    add("prov_late", joinDepths(r.mem.depthLate));
+    add("prov_dropped", joinDepths(r.mem.depthDropped));
+    add("prov_polluting", joinDepths(r.mem.depthPolluting));
+    add("prov_reinforce_promotions", r.mem.reinforcePromotions);
+    add("prov_reinforce_rescans", r.mem.rescans);
     return *this;
 }
 

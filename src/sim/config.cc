@@ -99,6 +99,9 @@ SimConfig::applyOverride(const std::string &key, const std::string &value)
         adaptive.adjustWidth = toBool(value);
     // Pollution limit study.
     else if (key == "pollution.enabled") pollution.enabled = toBool(value);
+    // Lifecycle-event tracer (src/obs).
+    else if (key == "trace.enabled") trace.enabled = toBool(value);
+    else if (key == "trace.buffer") trace.bufferEvents = toU64(value);
     // Run control.
     else if (key == "workload") workload = value;
     else if (key == "seed") workloadSeed = toU64(value);

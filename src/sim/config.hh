@@ -18,6 +18,7 @@
 #include "core/adaptive_vam.hh"
 #include "core/content_prefetcher.hh"
 #include "cpu/ooo_core.hh"
+#include "obs/tracer.hh"
 
 namespace cdp
 {
@@ -97,6 +98,12 @@ struct SimConfig
     CdpConfig cdp{};
     AdaptiveVamConfig adaptive{};
     PollutionConfig pollution{};
+    /**
+     * Lifecycle-event tracer (src/obs). A pure observer: enabling it
+     * never changes timing, counters, or stats dumps. No-op unless
+     * the build compiles tracing in (CDP_ENABLE_TRACE).
+     */
+    obs::TraceConfig trace{};
 
     /** Workload name from the Table 2 suite (see workloads/suite.hh). */
     std::string workload = "specjbb-vsnet";

@@ -37,14 +37,64 @@ MemorySystem::MemorySystem(const SimConfig &cfg, BackingStore &store,
             "mshr"),
       pollutionRng(cfg.pollution.seed),
       pollutionSpan(static_cast<Addr>(cfg.physFrames) * pageBytes),
+      trc(cfg.trace),
       loadLatency(stats ? *stats : dummyStatGroup,
                   "mem.load_latency",
                   "demand load-to-use latency (cycles)", 0, 800, 16),
       prefetchLead(stats ? *stats : dummyStatGroup,
                    "mem.prefetch_lead",
                    "content-prefetch fill-to-use lead (cycles)", 0,
-                   2000, 20)
+                   2000, 20),
+      provChainDepth(stats ? *stats : dummyStatGroup,
+                     "prov.chain_depth",
+                     "chain depth of issued content prefetches", 0, 16,
+                     16)
 {
+    StatGroup &sg = stats ? *stats : dummyStatGroup;
+    // StatGroup keeps raw pointers into provFormulas; reserve the
+    // exact count so emplace_back can never reallocate them away.
+    provFormulas.reserve(4 * provDepthBuckets + 2);
+    for (unsigned d = 0; d < provDepthBuckets; ++d) {
+        const std::string base = "prov.d" + std::to_string(d) + ".";
+        const std::string at =
+            d + 1 == provDepthBuckets
+                ? "depth >= " + std::to_string(d)
+                : "depth " + std::to_string(d);
+        provFormulas.emplace_back(
+            sg, base + "accurate",
+            "content prefetches first-touched by a demand (" + at + ")",
+            [this, d] {
+                return static_cast<double>(ctr.depthAccurate[d]);
+            });
+        provFormulas.emplace_back(
+            sg, base + "late",
+            "content prefetches promoted while in flight (" + at + ")",
+            [this, d] {
+                return static_cast<double>(ctr.depthLate[d]);
+            });
+        provFormulas.emplace_back(
+            sg, base + "dropped",
+            "content prefetches squashed before issue (" + at + ")",
+            [this, d] {
+                return static_cast<double>(ctr.depthDropped[d]);
+            });
+        provFormulas.emplace_back(
+            sg, base + "polluting",
+            "content-prefetched lines evicted unused (" + at + ")",
+            [this, d] {
+                return static_cast<double>(ctr.depthPolluting[d]);
+            });
+    }
+    provFormulas.emplace_back(
+        sg, "prov.reinforce_promotions",
+        "depth-tag promotions recorded by path reinforcement",
+        [this] {
+            return static_cast<double>(ctr.reinforcePromotions);
+        });
+    provFormulas.emplace_back(
+        sg, "prov.reinforce_rescans",
+        "reinforcement promotions that also triggered a rescan",
+        [this] { return static_cast<double>(ctr.rescans); });
 }
 
 void
@@ -173,6 +223,10 @@ MemorySystem::drainPrefetches(Cycle now)
             break;
         }
         --drainPool;
+        if (trc.active())
+            trc.record(obs::EventKind::ArbGrant, t, req->lineVa,
+                       req->id, req->root, req->type, req->depth,
+                       req->hop);
         issuePrefetch(*req, t);
     }
 }
@@ -204,9 +258,15 @@ MemorySystem::timedWalk(Addr va, Cycle now, bool speculative)
         fill.lineVa = 0;
         fill.vaddr = va;
         fill.type = ReqType::PageWalk;
+        fill.id = nextReqId++;
+        fill.root = fill.id; // walk fills are their own root
         fill.completion = comp;
-        if (mshrs.allocate(fill))
+        if (mshrs.allocate(fill)) {
             pendingFills.push({comp, lpa});
+            if (trc.active())
+                trc.record(obs::EventKind::Issue, now + lat, lpa,
+                           fill.id, fill.root, ReqType::PageWalk, 0, 0);
+        }
         lat = cyclesSince(comp, now);
     }
     if (!wr.framePa)
@@ -232,29 +292,53 @@ MemorySystem::translate(Addr va, Cycle now, bool speculative,
 }
 
 void
+MemorySystem::noteDrop(ReqType type, unsigned depth,
+                       obs::DropReason why, Addr addr, ReqId id,
+                       ReqId root, unsigned hop, Cycle now)
+{
+    if (type == ReqType::ContentPrefetch)
+        ++ctr.depthDropped[provDepthBucket(depth)];
+    if (trc.active())
+        trc.record(obs::EventKind::Drop, now, addr, id, root, type,
+                   depth, hop, static_cast<std::uint32_t>(why));
+}
+
+void
 MemorySystem::enqueuePrefetch(ReqType type, Addr vaddr, Addr line_va,
-                              unsigned depth, Cycle now,
-                              bool width_line)
+                              unsigned depth, ReqId root, unsigned hop,
+                              Cycle now, bool width_line)
 {
     if (type == ReqType::ContentPrefetch &&
         depth > cfg.cdp.depthThreshold)
         return; // chain terminated (Section 3.4.1)
 
+    const ReqId id = nextReqId++;
     if (l2Arbiter.contains(line_va)) {
         ++ctr.pfDropQueued;
+        noteDrop(type, depth, obs::DropReason::QueuedDup,
+                 lineAlign(line_va), id, root, hop, now);
         return;
     }
 
     MemRequest req{};
-    req.id = nextReqId++;
+    req.id = id;
     req.type = type;
     req.vaddr = vaddr;
     req.lineVa = lineAlign(line_va);
     req.depth = depth;
+    req.root = root;
+    req.hop = hop;
     req.widthLine = width_line;
     req.enqueued = now;
-    if (l2Arbiter.enqueue(req) == EnqueueResult::Rejected)
+    if (l2Arbiter.enqueue(req) == EnqueueResult::Rejected) {
         ++ctr.pfDropArbiter;
+        noteDrop(type, depth, obs::DropReason::ArbFull, req.lineVa, id,
+                 root, hop, now);
+        return;
+    }
+    if (trc.active())
+        trc.record(obs::EventKind::ArbEnqueue, now, req.lineVa, id,
+                   root, type, depth, hop);
 }
 
 bool
@@ -264,12 +348,16 @@ MemorySystem::issuePrefetch(MemRequest req, Cycle now)
     const auto pa = translate(req.lineVa, now, true, &extra);
     if (!pa) {
         ++ctr.pfDropUnmapped;
+        noteDrop(req.type, req.depth, obs::DropReason::Unmapped,
+                 req.lineVa, req.id, req.root, req.hop, now);
         return false;
     }
     const Addr line_pa = lineAlign(*pa);
 
     if (CacheLine *line = ul2.probeMutable(line_pa)) {
         ++ctr.pfDropL2Hit;
+        noteDrop(req.type, req.depth, obs::DropReason::L2Hit, line_pa,
+                 req.id, req.root, req.hop, now);
         // A shallower prefetch touching a deeper resident line still
         // reinforces the chain (Section 3.4.2: "any memory request").
         reinforceOnHit(*line, line_pa, req.depth, req.vaddr, now);
@@ -277,10 +365,14 @@ MemorySystem::issuePrefetch(MemRequest req, Cycle now)
     }
     if (mshrs.find(line_pa)) {
         ++ctr.pfDropInflight;
+        noteDrop(req.type, req.depth, obs::DropReason::Inflight,
+                 line_pa, req.id, req.root, req.hop, now);
         return false;
     }
     if (prefetchInFlight >= cfg.mem.busQueueSize) {
         ++ctr.pfDropBusFull;
+        noteDrop(req.type, req.depth, obs::DropReason::BusFull,
+                 line_pa, req.id, req.root, req.hop, now);
         return false;
     }
 
@@ -290,18 +382,27 @@ MemorySystem::issuePrefetch(MemRequest req, Cycle now)
     e.vaddr = req.vaddr;
     e.type = req.type;
     e.depth = req.depth;
+    e.id = req.id;
+    e.root = req.root;
+    e.hop = req.hop;
     e.strideOverlap = req.type == ReqType::ContentPrefetch &&
                       baselineRecentlyIssued(req.lineVa);
     e.widthLine = req.widthLine;
     e.completion = bus.service(now + extra);
     if (!mshrs.allocate(e)) {
         ++ctr.pfDropBusFull;
+        noteDrop(req.type, req.depth, obs::DropReason::BusFull,
+                 line_pa, req.id, req.root, req.hop, now);
         return false;
     }
     ++prefetchInFlight;
     pendingFills.push({e.completion, line_pa});
+    if (trc.active())
+        trc.record(obs::EventKind::Issue, now, line_pa, req.id,
+                   req.root, req.type, req.depth, req.hop);
 
     if (req.type == ReqType::ContentPrefetch) {
+        provChainDepth.sample(static_cast<double>(req.depth));
         ++ctr.cdpIssued;
         adaptive.noteIssued();
         if (e.strideOverlap)
@@ -322,27 +423,40 @@ MemorySystem::reinforceOnHit(CacheLine &line, Addr line_pa,
     if (line.storedDepth <= req_depth)
         return;
     const bool rescan = cdp.shouldRescan(req_depth, line.storedDepth);
+    const unsigned old_depth = line.storedDepth;
     line.storedDepth = static_cast<std::uint8_t>(req_depth);
     ++ctr.promotions;
+    ++ctr.reinforcePromotions;
+    if (trc.active())
+        trc.record(obs::EventKind::Reinforce, now, line_pa,
+                   line.provRoot, line.provRoot, line.fillType,
+                   req_depth, 0, static_cast<std::uint32_t>(old_depth));
     if (rescan) {
         ++ctr.rescans;
         ++rescanDebt;
-        scanAndEnqueue(line_pa, req_vaddr, req_depth, true, now);
+        scanAndEnqueue(line_pa, req_vaddr, req_depth, line.provRoot,
+                       true, now);
     }
 }
 
 void
 MemorySystem::scanAndEnqueue(Addr line_pa, Addr trigger_ea,
-                             unsigned depth, bool is_rescan, Cycle now)
+                             unsigned depth, ReqId root, bool is_rescan,
+                             Cycle now)
 {
     if (!cfg.cdp.enabled)
         return;
     std::uint8_t buf[lineBytes];
     backing.readLine(line_pa, buf);
-    for (const CdpCandidate &c :
-         cdp.scanFill(buf, trigger_ea, depth, is_rescan)) {
+    const std::vector<CdpCandidate> cands =
+        cdp.scanFill(buf, trigger_ea, depth, is_rescan);
+    if (trc.active())
+        trc.record(obs::EventKind::Scan, now, line_pa, root, root,
+                   ReqType::ContentPrefetch, depth, 0,
+                   static_cast<std::uint32_t>(cands.size()));
+    for (const CdpCandidate &c : cands) {
         enqueuePrefetch(ReqType::ContentPrefetch, c.vaddr, c.lineVa,
-                        c.depth, now, c.widthLine);
+                        c.depth, root, c.hop, now, c.widthLine);
     }
 }
 
@@ -377,15 +491,28 @@ MemorySystem::completeFill(Addr line_pa, Cycle when)
     CacheLine &line = ul2.insert(line_pa, &ev);
     if (ev.valid && ev.prefetched)
         ++ctr.prefetchEvictedUnused;
+    // Pollution attribution: a content-prefetched line displaced
+    // without ever serving a demand, charged to its fill-time depth.
+    if (ev.valid && ev.fillType == ReqType::ContentPrefetch &&
+        !ev.everUsed) {
+        ++ctr.depthPolluting[provDepthBucket(ev.fillDepth)];
+    }
 
     line.prefetched = isPrefetch(entry.type);
     line.fillType = entry.type;
     line.storedDepth =
         static_cast<std::uint8_t>(std::min(entry.depth, 255u));
+    line.fillDepth =
+        static_cast<std::uint8_t>(std::min(entry.depth, 255u));
+    line.provRoot = entry.root;
     line.fillCycle = when;
     line.strideOverlap = entry.strideOverlap;
     line.everUsed = !isPrefetch(entry.type) &&
                     entry.type != ReqType::PageWalk;
+
+    if (trc.active())
+        trc.record(obs::EventKind::Fill, when, line_pa, entry.id,
+                   entry.root, entry.type, entry.depth, entry.hop);
 
     if ((entry.type == ReqType::DemandLoad ||
          entry.type == ReqType::DemandStore) &&
@@ -399,7 +526,8 @@ MemorySystem::completeFill(Addr line_pa, Cycle when)
         return; // Section 3.5: page-walk traffic bypasses the scanner
     if (entry.widthLine && !cfg.cdp.scanWidthFills)
         return; // width fills pull in node payload, not chain links
-    scanAndEnqueue(line_pa, entry.vaddr, entry.depth, false, when);
+    scanAndEnqueue(line_pa, entry.vaddr, entry.depth, entry.root,
+                   false, when);
 }
 
 std::vector<Addr>
@@ -437,12 +565,17 @@ MemorySystem::maybeInjectPollution(Cycle now)
     e.linePa = line_pa;
     e.type = ReqType::ContentPrefetch;
     e.depth = cfg.cdp.depthThreshold; // never scanned
+    e.id = nextReqId++;
+    e.root = 0; // injected noise has no provenance root
     e.pollution = true;
     e.completion = bus.service(now);
     if (mshrs.allocate(e)) {
         ++prefetchInFlight;
         pendingFills.push({e.completion, line_pa});
         ++ctr.pollutionInjected;
+        if (trc.active())
+            trc.record(obs::EventKind::Issue, now, line_pa, e.id,
+                       e.root, e.type, e.depth, 0);
     }
 }
 
@@ -458,13 +591,22 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
     }
     ++ctr.l1Misses;
 
+    // Every DL1 miss gets a fresh transaction id up front: it is the
+    // provenance root of everything it spawns (its stride prefetches
+    // and, on an L2 miss, its own fill).
+    const ReqId demandId = nextReqId++;
+    if (trc.active())
+        trc.record(obs::EventKind::DemandMiss, now, lineAlign(vaddr),
+                   demandId, demandId, ReqType::DemandLoad, 0, 0);
+
     // The baseline prefetcher monitors the L1 miss stream (Fig. 6).
     bool stride_fired = false;
     if (cfg.stride.enabled) {
+        unsigned hop = 0;
         for (Addr p : baselineObserve(pc, vaddr)) {
             stride_fired = true;
             enqueuePrefetch(ReqType::StridePrefetch, p, lineAlign(p), 1,
-                            now);
+                            demandId, hop++, now);
         }
     }
 
@@ -486,6 +628,7 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
             if (line->fillType == ReqType::ContentPrefetch) {
                 ++ctr.maskFullCdp;
                 ++ctr.cdpUseful;
+                ++ctr.depthAccurate[provDepthBucket(line->fillDepth)];
                 adaptive.noteUseful();
                 if (line->strideOverlap)
                     ++ctr.cdpUsefulOverlap;
@@ -510,6 +653,12 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
         if (isPrefetch(e->type)) {
             const bool is_cdp = e->type == ReqType::ContentPrefetch;
             const bool overlap = e->strideOverlap;
+            if (is_cdp)
+                ++ctr.depthLate[provDepthBucket(e->depth)];
+            if (trc.active())
+                trc.record(obs::EventKind::Promote, now, line_pa,
+                           e->id, e->root, e->type, e->depth, e->hop,
+                           static_cast<std::uint32_t>(demandId));
             mshrs.promote(line_pa, 0, vaddr);
             // Promotion must have moved the entry to demand class.
             CDP_CHECK_MSG(!isPrefetch(mshrs.find(line_pa)->type),
@@ -526,6 +675,10 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
             }
         } else {
             // Merge with an in-flight demand (secondary miss).
+            if (trc.active())
+                trc.record(obs::EventKind::Merge, now, line_pa, e->id,
+                           e->root, e->type, e->depth, e->hop,
+                           static_cast<std::uint32_t>(demandId));
         }
         (void)fresh;
         const Cycle done = std::max(inflight_done,
@@ -536,17 +689,24 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
 
     // A queued-but-unstarted prefetch for this line is promoted to
     // the demand's priority and issued right now as the demand.
-    if (l2Arbiter.extractPrefetch(line_va))
+    if (auto queued = l2Arbiter.extractPrefetch(line_va)) {
         ++ctr.promotions;
+        if (trc.active())
+            trc.record(obs::EventKind::Promote, now, line_va,
+                       queued->id, queued->root, queued->type,
+                       queued->depth, queued->hop,
+                       static_cast<std::uint32_t>(demandId));
+    }
 
     ++ctr.l2DemandMisses;
 
     // The Markov prefetcher observes the L2 miss stream but is
     // blocked whenever the stride prefetcher fired (Section 5).
     if (markov && !stride_fired) {
+        unsigned hop = 0;
         for (Addr p : markov->observeMiss(pc, vaddr)) {
             enqueuePrefetch(ReqType::StridePrefetch, p, lineAlign(p), 1,
-                            now);
+                            demandId, hop++, now);
         }
     }
 
@@ -556,9 +716,15 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
     e.lineVa = line_va;
     e.vaddr = vaddr;
     e.type = ReqType::DemandLoad;
+    e.id = demandId;
+    e.root = demandId;
     e.completion = comp;
-    if (mshrs.allocate(e))
+    if (mshrs.allocate(e)) {
         pendingFills.push({comp, line_pa});
+        if (trc.active())
+            trc.record(obs::EventKind::Issue, t0, line_pa, demandId,
+                       demandId, ReqType::DemandLoad, 0, 0);
+    }
     loadLatency.sample(static_cast<double>(cyclesSince(comp, now)));
     return comp;
 }
@@ -572,10 +738,16 @@ MemorySystem::store(Addr pc, Addr vaddr, Cycle now)
         return now + 1;
     ++ctr.l1Misses;
 
+    const ReqId demandId = nextReqId++;
+    if (trc.active())
+        trc.record(obs::EventKind::DemandMiss, now, lineAlign(vaddr),
+                   demandId, demandId, ReqType::DemandStore, 0, 0);
+
     if (cfg.stride.enabled) {
+        unsigned hop = 0;
         for (Addr p : baselineObserve(pc, vaddr)) {
             enqueuePrefetch(ReqType::StridePrefetch, p, lineAlign(p), 1,
-                            now);
+                            demandId, hop++, now);
         }
     }
 
@@ -590,6 +762,7 @@ MemorySystem::store(Addr pc, Addr vaddr, Cycle now)
         if (line->prefetched && !line->everUsed) {
             if (line->fillType == ReqType::ContentPrefetch) {
                 ++ctr.cdpUseful;
+                ++ctr.depthAccurate[provDepthBucket(line->fillDepth)];
                 adaptive.noteUseful();
             } else {
                 ++ctr.strideUseful;
@@ -601,18 +774,30 @@ MemorySystem::store(Addr pc, Addr vaddr, Cycle now)
         return now + 1;
     }
 
-    if (mshrs.find(line_pa))
+    if (const MshrEntry *e = mshrs.find(line_pa)) {
+        if (trc.active())
+            trc.record(obs::EventKind::Merge, now, line_pa, e->id,
+                       e->root, e->type, e->depth, e->hop,
+                       static_cast<std::uint32_t>(demandId));
         return now + 1; // merge; store buffer hides the latency
+    }
 
-    const Cycle comp = bus.service(now + extra + 1);
+    const Cycle t0 = now + extra + 1;
+    const Cycle comp = bus.service(t0);
     MshrEntry e{};
     e.linePa = line_pa;
     e.lineVa = line_va;
     e.vaddr = vaddr;
     e.type = ReqType::DemandStore;
+    e.id = demandId;
+    e.root = demandId;
     e.completion = comp;
-    if (mshrs.allocate(e))
+    if (mshrs.allocate(e)) {
         pendingFills.push({comp, line_pa});
+        if (trc.active())
+            trc.record(obs::EventKind::Issue, t0, line_pa, demandId,
+                       demandId, ReqType::DemandStore, 0, 0);
+    }
     return now + 1;
 }
 

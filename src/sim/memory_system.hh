@@ -38,6 +38,7 @@
 #include "memsys/cache.hh"
 #include "memsys/mshr.hh"
 #include "memsys/queued_arbiter.hh"
+#include "obs/tracer.hh"
 #include "prefetch/markov_prefetcher.hh"
 #include "prefetch/nextline_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
@@ -49,6 +50,20 @@
 
 namespace cdp
 {
+
+/**
+ * Depth buckets for per-depth provenance attribution: depths 0..4
+ * get their own bucket, everything deeper lands in the last one.
+ * Small and fixed so the counters stay a plain struct.
+ */
+constexpr unsigned provDepthBuckets = 6;
+
+/** Clamp a chain depth into a provenance bucket index. */
+constexpr unsigned
+provDepthBucket(unsigned depth)
+{
+    return depth < provDepthBuckets ? depth : provDepthBuckets - 1;
+}
 
 /**
  * The complete Figure 6 memory hierarchy.
@@ -80,6 +95,9 @@ class MemorySystem : public CoreMemIf
     Cache &l1() { return dl1; }
     Cache &l2() { return ul2; }
     Tlb &dtlb() { return dataTlb; }
+    /** Lifecycle-event tracer (inert unless cfg.trace.enabled). */
+    obs::Tracer &tracer() { return trc; }
+    const obs::Tracer &tracer() const { return trc; }
     ContentPrefetcher &contentPf() { return cdp; }
     const AdaptiveVamController &adaptiveCtl() const { return adaptive; }
     StridePrefetcher &stridePf() { return stride; }
@@ -122,10 +140,23 @@ class MemorySystem : public CoreMemIf
         // Reinforcement.
         std::uint64_t promotions = 0;
         std::uint64_t rescans = 0;
+        /** Depth-tag promotions recorded by reinforceOnHit alone
+         *  (promotions also counts arbiter extractions). */
+        std::uint64_t reinforcePromotions = 0;
         // Pollution study.
         std::uint64_t pollutionInjected = 0;
         // Unused prefetched lines evicted (accuracy complement).
         std::uint64_t prefetchEvictedUnused = 0;
+        // Per-depth provenance attribution for content prefetches
+        // (index = provDepthBucket(chain depth)):
+        //  accurate  — first demand touch of a completed prefetch
+        //  late      — demand promoted the prefetch while in flight
+        //  dropped   — squashed before issue (any drop reason)
+        //  polluting — evicted without ever being demanded
+        std::uint64_t depthAccurate[provDepthBuckets] = {};
+        std::uint64_t depthLate[provDepthBuckets] = {};
+        std::uint64_t depthDropped[provDepthBuckets] = {};
+        std::uint64_t depthPolluting[provDepthBuckets] = {};
     };
 
     const Counters &counters() const { return ctr; }
@@ -157,8 +188,13 @@ class MemorySystem : public CoreMemIf
 
     /** Queue a prefetch into the L2 arbiter. */
     void enqueuePrefetch(ReqType type, Addr vaddr, Addr line_va,
-                         unsigned depth, Cycle now,
-                         bool width_line = false);
+                         unsigned depth, ReqId root, unsigned hop,
+                         Cycle now, bool width_line = false);
+
+    /** Count (and trace) one squashed prefetch at @p depth. */
+    void noteDrop(ReqType type, unsigned depth, obs::DropReason why,
+                  Addr addr, ReqId id, ReqId root, unsigned hop,
+                  Cycle now);
 
     /** Pop prefetches from the L2 arbiter and put them on the bus. */
     void drainPrefetches(Cycle now);
@@ -171,7 +207,7 @@ class MemorySystem : public CoreMemIf
 
     /** Scan fill/rescan content and enqueue the resulting requests. */
     void scanAndEnqueue(Addr line_pa, Addr trigger_ea, unsigned depth,
-                        bool is_rescan, Cycle now);
+                        ReqId root, bool is_rescan, Cycle now);
 
     /** Reinforcement on an L2 hit (Section 3.4.2). */
     void reinforceOnHit(CacheLine &line, Addr line_pa, unsigned req_depth,
@@ -214,12 +250,22 @@ class MemorySystem : public CoreMemIf
     Rng pollutionRng;
     Addr pollutionSpan = 0; //!< physical span to pick bad lines from
 
+    obs::Tracer trc; //!< lifecycle-event recorder (pure observer)
+
     StatGroup dummyStatGroup; //!< sink when no group is supplied
     /** Demand-load latency distribution (cycles, log-ish buckets). */
     Distribution loadLatency;
     /** Cycles between a content prefetch's fill and its first demand
      *  touch (timeliness; Figure 10's full-vs-partial split). */
     Distribution prefetchLead;
+    /** Chain depth of every issued content prefetch (provenance). */
+    Distribution provChainDepth;
+    /**
+     * prov.* formulas mirroring the per-depth Counters arrays into
+     * the stats dump (reserve()d up front: StatGroup keeps raw
+     * pointers into this vector).
+     */
+    std::vector<Formula> provFormulas;
 
     Counters ctr;
 };

@@ -37,8 +37,15 @@ diffCounters(const MemorySystem::Counters &a,
     CDP_DIFF(prefetchWalks);
     CDP_DIFF(promotions);
     CDP_DIFF(rescans);
+    CDP_DIFF(reinforcePromotions);
     CDP_DIFF(pollutionInjected);
     CDP_DIFF(prefetchEvictedUnused);
+    for (unsigned i = 0; i < provDepthBuckets; ++i) {
+        CDP_DIFF(depthAccurate[i]);
+        CDP_DIFF(depthLate[i]);
+        CDP_DIFF(depthDropped[i]);
+        CDP_DIFF(depthPolluting[i]);
+    }
 #undef CDP_DIFF
     return d;
 }

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Golden-run regression net.
+
+For every <name>.args file in the golden directory, runs cdpsim with
+those arguments plus --stats and byte-compares stdout (the result row
+and the full statistics dump) against the committed <name>.stats
+snapshot. Each configuration is run at -j1 and -j8: the output must be
+byte-identical at both job counts and to the golden file.
+
+Any intentional statistics change must regenerate the snapshots with
+tools/regolden.sh and include the diff in the same commit.
+
+Usage: golden_compare.py <cdpsim> <golden_dir>
+"""
+
+import difflib
+import glob
+import os
+import subprocess
+import sys
+
+
+def run_config(cdpsim, args, jobs):
+    env = dict(os.environ)
+    env.pop("CDP_SCALE", None)  # golden runs are fixed-length
+    env.pop("CDP_JOBS", None)   # job count is the test's to choose
+    argv = [cdpsim] + args + ["--stats", "-j%d" % jobs]
+    res = subprocess.run(argv, capture_output=True, text=True, env=env)
+    if res.returncode != 0:
+        sys.exit("FAIL: %s exited %d\nstderr:\n%s"
+                 % (" ".join(argv), res.returncode, res.stderr))
+    return res.stdout
+
+
+def read_args(path):
+    args = []
+    with open(path) as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if line:
+                args.append(line)
+    return args
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: golden_compare.py <cdpsim> <golden_dir>")
+    cdpsim, golden_dir = sys.argv[1], sys.argv[2]
+
+    arg_files = sorted(glob.glob(os.path.join(golden_dir, "*.args")))
+    if not arg_files:
+        sys.exit("FAIL: no .args files in " + golden_dir)
+
+    failures = 0
+    for arg_file in arg_files:
+        name = os.path.splitext(os.path.basename(arg_file))[0]
+        stats_file = os.path.splitext(arg_file)[0] + ".stats"
+        if not os.path.exists(stats_file):
+            sys.exit("FAIL: missing golden snapshot %s "
+                     "(run tools/regolden.sh)" % stats_file)
+        with open(stats_file) as f:
+            golden = f.read()
+
+        args = read_args(arg_file)
+        for jobs in (1, 8):
+            got = run_config(cdpsim, args, jobs)
+            if got == golden:
+                print("OK   %-16s -j%d (%d bytes)"
+                      % (name, jobs, len(got)))
+                continue
+            failures += 1
+            print("FAIL %-16s -j%d differs from %s:"
+                  % (name, jobs, os.path.basename(stats_file)))
+            diff = difflib.unified_diff(
+                golden.splitlines(keepends=True),
+                got.splitlines(keepends=True),
+                fromfile=os.path.basename(stats_file),
+                tofile="cdpsim -j%d" % jobs)
+            sys.stdout.writelines(list(diff)[:60])
+
+    if failures:
+        sys.exit("FAIL: %d golden comparison(s) differ; if the change "
+                 "is intentional, regenerate with tools/regolden.sh"
+                 % failures)
+    print("golden runs match at -j1 and -j8")
+
+
+if __name__ == "__main__":
+    main()

@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <unordered_set>
+
 #include "common/rng.hh"
+#include "sim/memory_system.hh"
 #include "sim/simulator.hh"
 
 using namespace cdp;
@@ -116,6 +120,87 @@ TEST_P(ConfigFuzz, ShortRunHoldsInvariants)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz,
                          ::testing::Range<std::uint64_t>(1, 25));
+
+class ConfigFuzzTrace : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/**
+ * Randomized pass with the lifecycle tracer enabled: whatever the
+ * configuration, the captured event stream must be well formed —
+ * every issued transaction either fills exactly once (at or after its
+ * issue cycle, with the same provenance root) or, for arbiter grants,
+ * is explicitly dropped. Tracing must also leave results untouched.
+ */
+TEST_P(ConfigFuzzTrace, TraceIsWellFormed)
+{
+    SimConfig c = randomConfig(GetParam());
+    SCOPED_TRACE("workload=" + c.workload + " seed=" +
+                 std::to_string(GetParam()));
+
+    SimConfig traced = c;
+    traced.trace.enabled = true;
+    traced.trace.bufferEvents = 1u << 20;
+    Simulator sim(traced);
+    const RunResult r = sim.run();
+    if (!sim.memory().tracer().active())
+        GTEST_SKIP() << "tracer compiled out (CDP_ENABLE_TRACE=OFF)";
+
+    // Pure observer: identical results to the untraced twin.
+    {
+        Simulator plain(c);
+        const RunResult rp = plain.run();
+        ASSERT_EQ(r.cycles, rp.cycles);
+        ASSERT_EQ(r.mem.cdpIssued, rp.mem.cdpIssued);
+    }
+
+    // Settle outstanding transactions so every issue can complete.
+    sim.memory().drainAll(sim.core().currentCycle());
+    const obs::Tracer &trc = sim.memory().tracer();
+    ASSERT_EQ(trc.dropped(), 0u) << "event buffer too small";
+    const std::vector<obs::TraceEvent> events = trc.snapshot();
+    ASSERT_FALSE(events.empty());
+
+    std::unordered_map<ReqId, const obs::TraceEvent *> issues;
+    std::unordered_set<ReqId> filledIds, dropIds;
+    std::vector<ReqId> grants;
+    for (const obs::TraceEvent &e : events) {
+        switch (e.kindOf()) {
+        case obs::EventKind::Issue:
+            EXPECT_TRUE(issues.emplace(e.id, &e).second)
+                << "duplicate issue id " << e.id;
+            break;
+        case obs::EventKind::Fill: {
+            const auto it = issues.find(e.id);
+            ASSERT_NE(it, issues.end())
+                << "fill without issue, id " << e.id;
+            EXPECT_GE(e.cycle, it->second->cycle);
+            EXPECT_EQ(e.root, it->second->root);
+            EXPECT_TRUE(filledIds.insert(e.id).second)
+                << "double fill, id " << e.id;
+            break;
+        }
+        case obs::EventKind::Drop:
+            dropIds.insert(e.id);
+            break;
+        case obs::EventKind::ArbGrant:
+            grants.push_back(e.id);
+            break;
+        default:
+            break;
+        }
+    }
+    // After the drain, every issue has its matching completion.
+    EXPECT_EQ(filledIds.size(), issues.size());
+    // Every grant either issued or was explicitly dropped.
+    for (const ReqId id : grants) {
+        EXPECT_TRUE(issues.count(id) || dropIds.count(id))
+            << "granted id " << id << " vanished silently";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzzTrace,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 TEST(ConfigFuzzDeterminism, SameSeedSameResult)
 {

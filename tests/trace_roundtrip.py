@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""End-to-end trace round-trip test.
+
+Captures a binary lifecycle trace with cdpsim, converts it with
+cdptrace, and validates the result:
+
+  1. `cdptrace chrome` output parses as JSON and is a well-formed
+     Chrome trace_event stream: timestamps sorted, every "E" closes a
+     matching "B" on the same (pid, tid) track, nothing left open.
+  2. `cdpsim --trace-json` (direct emission) produces byte-identical
+     JSON to the cdptrace conversion of the binary trace from a
+     separate run of the same configuration — the trace pipeline is
+     deterministic end to end.
+  3. `cdptrace summary` succeeds and reports the event population.
+  4. `cdptrace diff` of a trace against itself reports a match.
+
+Usage: trace_roundtrip.py <cdpsim> <cdptrace>
+
+Set CDP_TRACE_TEST_DIR to keep the artifacts in a fixed directory
+instead of a temp dir (useful for uploading from CI).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+CONFIG = [
+    "workload=xbtree",
+    "warmup_uops=4000",
+    "measure_uops=16000",
+    "trace.buffer=1048576",
+]
+
+
+def run(argv, **kw):
+    env = dict(os.environ)
+    env.pop("CDP_SCALE", None)  # keep run lengths fixed
+    res = subprocess.run(argv, capture_output=True, text=True, env=env,
+                         **kw)
+    if res.returncode != 0:
+        sys.exit("FAIL: %s exited %d\nstderr:\n%s"
+                 % (" ".join(argv), res.returncode, res.stderr))
+    return res
+
+
+def check(cond, msg):
+    if not cond:
+        sys.exit("FAIL: " + msg)
+
+
+def validate_chrome_json(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc["traceEvents"]
+    check(len(events) > 0, "empty traceEvents")
+    check(doc["otherData"]["dropped"] == 0,
+          "ring overwrote events; buffer too small for this run")
+
+    last_ts = -1
+    open_spans = {}  # (pid, tid) -> name of the open "B"
+    for ev in events:
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            check(key in ev, "event missing %r: %r" % (key, ev))
+        check(ev["ts"] >= last_ts, "timestamps not sorted")
+        last_ts = ev["ts"]
+        track = (ev["pid"], ev["tid"])
+        if ev["ph"] == "B":
+            check(track not in open_spans,
+                  "nested B on track %r" % (track,))
+            open_spans[track] = ev["name"]
+        elif ev["ph"] == "E":
+            check(track in open_spans,
+                  "E without open B on track %r" % (track,))
+            del open_spans[track]
+        else:
+            check(ev["ph"] == "i", "unexpected phase %r" % ev["ph"])
+            check(ev.get("s") == "t", "instant without thread scope")
+    check(not open_spans,
+          "unclosed B spans after drain: %r" % open_spans)
+    return len(events)
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit("usage: trace_roundtrip.py <cdpsim> <cdptrace>")
+    cdpsim, cdptrace = sys.argv[1], sys.argv[2]
+
+    keep = os.environ.get("CDP_TRACE_TEST_DIR")
+    if keep:
+        os.makedirs(keep, exist_ok=True)
+        workdir = keep
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="cdp-trace-")
+        workdir = tmp.name
+
+    binpath = os.path.join(workdir, "roundtrip.cdpo")
+    converted = os.path.join(workdir, "converted.json")
+    direct = os.path.join(workdir, "direct.json")
+
+    # Capture the binary trace, then convert it offline.
+    run([cdpsim] + CONFIG + ["--trace-out=" + binpath])
+    run([cdptrace, "chrome", binpath, converted])
+    n = validate_chrome_json(converted)
+
+    # A second identical run emitting JSON directly must match the
+    # offline conversion byte for byte.
+    run([cdpsim] + CONFIG + ["--trace-json=" + direct])
+    with open(converted, "rb") as a, open(direct, "rb") as b:
+        check(a.read() == b.read(),
+              "direct --trace-json differs from cdptrace conversion")
+
+    summary = run([cdptrace, "summary", binpath])
+    check("events" in summary.stdout, "summary missing population")
+    check("chains" in summary.stdout, "summary missing chain rollup")
+
+    diff = run([cdptrace, "diff", binpath, binpath])
+    check("traces match" in diff.stdout,
+          "self-diff did not report a match")
+
+    print("OK: %d events round-tripped; summary and self-diff pass"
+          % n)
+
+
+if __name__ == "__main__":
+    main()

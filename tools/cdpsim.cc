@@ -9,7 +9,15 @@
  *
  * Usage:
  *   cdpsim [key=value ...] [--workloads=a,b,c] [--csv] [--stats]
- *          [--capture=PATH] [-jN|--jobs=N]
+ *          [--capture=PATH] [--trace-out=PATH] [--trace-json=PATH]
+ *          [-jN|--jobs=N]
+ *
+ * --trace-out / --trace-json enable the lifecycle tracer (implies
+ * trace.enabled=1) and dump the run's event ring after the measured
+ * phase settles: --trace-out writes the compact binary format that
+ * tools/cdptrace consumes, --trace-json writes Chrome trace_event
+ * JSON directly (open in chrome://tracing or Perfetto). Both accept a
+ * single workload only. Requires a CDP_ENABLE_TRACE build (default).
  *
  * Multiple workloads fan out over the parallel experiment runner
  * (src/runner): `-jN` (or CDP_JOBS=N) picks the worker count, rows
@@ -30,6 +38,10 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/trace_io.hh"
 #include "runner/sim_runner.hh"
 #include "sim/memory_system.hh"
 #include "sim/simulator.hh"
@@ -47,7 +59,14 @@ struct Options
     bool csv = false;
     bool stats = false;
     std::string capturePath;
+    std::string traceOutPath;  //!< binary lifecycle trace (CDPO)
+    std::string traceJsonPath; //!< Chrome trace_event JSON
     unsigned jobs = 0; //!< runner workers; 0 = CDP_JOBS / hardware
+
+    bool traceWanted() const
+    {
+        return !traceOutPath.empty() || !traceJsonPath.empty();
+    }
 };
 
 void
@@ -56,7 +75,8 @@ usage()
     std::fprintf(
         stderr,
         "usage: cdpsim [key=value ...] [--workloads=a,b,c|all]\n"
-        "              [--csv] [--stats] [--capture=PATH] "
+        "              [--csv] [--stats] [--capture=PATH]\n"
+        "              [--trace-out=PATH] [--trace-json=PATH] "
         "[-jN|--jobs=N]\n"
         "keys: see src/sim/config.cc (e.g. cdp.depth=5, "
         "mem.l2_kb=512,\n      workload=tpcc-2, measure_uops=2000000)\n");
@@ -77,6 +97,10 @@ parse(int argc, char **argv)
             opt.stats = true;
         } else if (arg.rfind("--capture=", 0) == 0) {
             opt.capturePath = arg.substr(10);
+        } else if (arg.rfind("--trace-out=", 0) == 0) {
+            opt.traceOutPath = arg.substr(12);
+        } else if (arg.rfind("--trace-json=", 0) == 0) {
+            opt.traceJsonPath = arg.substr(13);
         } else if (arg.rfind("--workloads=", 0) == 0) {
             const std::string list = arg.substr(12);
             if (list == "all") {
@@ -100,7 +124,53 @@ parse(int argc, char **argv)
                       cfg_args.data());
     if (opt.workloads.empty())
         opt.workloads.push_back(opt.cfg.workload);
+    if (opt.traceWanted()) {
+        if (opt.workloads.size() > 1)
+            throw std::invalid_argument(
+                "--trace-out/--trace-json take a single workload");
+        if (!CDP_TRACE_ENABLED)
+            throw std::invalid_argument(
+                "this build has the tracer compiled out "
+                "(reconfigure with -DCDP_ENABLE_TRACE=ON)");
+        opt.cfg.trace.enabled = true;
+    }
     return opt;
+}
+
+/**
+ * Dump the lifecycle trace of a finished run. The memory system is
+ * drained first so every issued transaction has its fill in the ring
+ * (the stats snapshot above is unaffected: it was captured before).
+ */
+void
+dumpTrace(Simulator &sim, const Options &opt)
+{
+    sim.memory().drainAll(sim.core().currentCycle());
+    const obs::Tracer &trc = sim.memory().tracer();
+    const std::vector<obs::TraceEvent> events = trc.snapshot();
+    const std::string tag =
+        sim.config().workload + "/seed" +
+        std::to_string(sim.config().workloadSeed);
+    if (!opt.traceOutPath.empty()) {
+        obs::writeBinaryTrace(opt.traceOutPath, events, trc.dropped(),
+                              tag);
+        std::fprintf(stderr, "trace: %llu events (%llu overwritten) "
+                             "-> %s\n",
+                     static_cast<unsigned long long>(events.size()),
+                     static_cast<unsigned long long>(trc.dropped()),
+                     opt.traceOutPath.c_str());
+    }
+    if (!opt.traceJsonPath.empty()) {
+        obs::LoadedTrace t;
+        t.events = events;
+        t.dropped = trc.dropped();
+        t.tag = tag;
+        std::ofstream os(opt.traceJsonPath);
+        if (!os)
+            throw std::runtime_error("cannot write " +
+                                     opt.traceJsonPath);
+        obs::writeChromeJson(os, t);
+    }
 }
 
 void
@@ -137,6 +207,17 @@ printCsvRow(const RunResult &r)
 }
 
 void
+printHumanRow(const std::string &name, const RunResult &r)
+{
+    std::printf("%-16s ipc %8.4f  mptu %8.3f  cycles "
+                "%12llu  cdp(issued %llu useful %llu)\n",
+                name.c_str(), r.ipc, r.mptu(),
+                static_cast<unsigned long long>(r.cycles),
+                static_cast<unsigned long long>(r.mem.cdpIssued),
+                static_cast<unsigned long long>(r.mem.cdpUseful));
+}
+
+void
 capture(const SimConfig &cfg, const std::string &path)
 {
     Simulator sim(cfg);
@@ -166,6 +247,36 @@ main(int argc, char **argv)
             SimConfig c = opt.cfg;
             c.workload = opt.workloads.front();
             capture(c, opt.capturePath);
+            return 0;
+        }
+
+        if (opt.traceWanted()) {
+            // Traced runs stay on this thread: the tracer lives in
+            // the run's MemorySystem and is dumped after it settles.
+            SimConfig c = opt.cfg;
+            c.workload = opt.workloads.front();
+            if (opt.csv)
+                printCsvHeader();
+            else
+                std::fprintf(stderr, "%s\n\n", c.summary().c_str());
+            Simulator sim(c);
+            const RunResult r = sim.run();
+            std::string statsDump;
+            if (opt.stats) {
+                std::ostringstream os;
+                sim.stats().dump(os);
+                statsDump = os.str();
+            }
+            if (opt.csv)
+                printCsvRow(r);
+            else
+                printHumanRow(c.workload, r);
+            if (opt.stats) {
+                std::printf("---- full statistics: %s ----\n",
+                            c.workload.c_str());
+                std::fputs(statsDump.c_str(), stdout);
+            }
+            dumpTrace(sim, opt);
             return 0;
         }
 
@@ -200,18 +311,10 @@ main(int argc, char **argv)
 
         for (std::size_t i = 0; i < opt.workloads.size(); ++i) {
             const RunResult &r = rows[i].result;
-            if (opt.csv) {
+            if (opt.csv)
                 printCsvRow(r);
-            } else {
-                std::printf("%-16s ipc %8.4f  mptu %8.3f  cycles "
-                            "%12llu  cdp(issued %llu useful %llu)\n",
-                            opt.workloads[i].c_str(), r.ipc, r.mptu(),
-                            static_cast<unsigned long long>(r.cycles),
-                            static_cast<unsigned long long>(
-                                r.mem.cdpIssued),
-                            static_cast<unsigned long long>(
-                                r.mem.cdpUseful));
-            }
+            else
+                printHumanRow(opt.workloads[i], r);
             if (opt.stats) {
                 std::printf("---- full statistics: %s ----\n",
                             opt.workloads[i].c_str());

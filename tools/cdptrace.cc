@@ -1,0 +1,262 @@
+/**
+ * @file
+ * cdptrace — offline converter/inspector for lifecycle traces.
+ *
+ * Consumes the compact binary traces that `cdpsim --trace-out=PATH`
+ * (or any obs::writeBinaryTrace caller) produces and replays them
+ * into human- or tool-facing forms:
+ *
+ *   cdptrace chrome  IN.cdpo [OUT.json]   Chrome trace_event JSON
+ *                                         (stdout when OUT omitted)
+ *   cdptrace summary IN.cdpo              per-chain text summary
+ *   cdptrace diff    A.cdpo B.cdpo        event-population diff;
+ *                                         exit 1 when they differ
+ *
+ * Everything here is deterministic: output bytes are a pure function
+ * of the input trace(s), so summaries and diffs can be committed or
+ * compared across runs.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_io.hh"
+
+using namespace cdp;
+using namespace cdp::obs;
+
+namespace
+{
+
+constexpr unsigned numEventKinds =
+    static_cast<unsigned>(EventKind::Reinforce) + 1;
+constexpr unsigned depthSlots = 16; //!< 0..14 own slot, 15 = deeper
+
+void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cdptrace chrome  IN.cdpo [OUT.json]\n"
+        "       cdptrace summary IN.cdpo\n"
+        "       cdptrace diff    A.cdpo B.cdpo\n");
+}
+
+unsigned
+depthSlot(unsigned depth)
+{
+    return depth < depthSlots ? depth : depthSlots - 1;
+}
+
+/** Order-independent population of one trace (for summary/diff). */
+struct Population
+{
+    std::uint64_t total = 0;
+    std::uint64_t dropped = 0; //!< ring overwrites before the dump
+    std::uint64_t byKind[numEventKinds] = {};
+    /** Content-prefetch Issue events per chain depth. */
+    std::uint64_t issueByDepth[depthSlots] = {};
+    /** Drop events per reason (aux of EventKind::Drop). */
+    std::map<std::string, std::uint64_t> dropsByReason;
+
+    static Population
+    of(const LoadedTrace &t)
+    {
+        Population p;
+        p.total = t.events.size();
+        p.dropped = t.dropped;
+        for (const TraceEvent &e : t.events) {
+            const unsigned k = e.kind < numEventKinds ? e.kind : 0;
+            ++p.byKind[k];
+            if (e.kindOf() == EventKind::Issue &&
+                e.typeOf() == ReqType::ContentPrefetch)
+                ++p.issueByDepth[depthSlot(e.depth)];
+            if (e.kindOf() == EventKind::Drop)
+                ++p.dropsByReason[dropReasonName(e.dropOf())];
+        }
+        return p;
+    }
+
+    bool
+    operator==(const Population &o) const
+    {
+        if (total != o.total)
+            return false;
+        for (unsigned k = 0; k < numEventKinds; ++k)
+            if (byKind[k] != o.byKind[k])
+                return false;
+        for (unsigned d = 0; d < depthSlots; ++d)
+            if (issueByDepth[d] != o.issueByDepth[d])
+                return false;
+        return dropsByReason == o.dropsByReason;
+    }
+};
+
+/** One provenance chain: everything rooted at the same demand miss. */
+struct Chain
+{
+    std::uint64_t events = 0;
+    std::uint64_t issued = 0;  //!< content-prefetch Issues
+    std::uint64_t filled = 0;  //!< content-prefetch Fills
+    std::uint64_t drops = 0;
+    unsigned maxDepth = 0;
+};
+
+int
+cmdChrome(const std::string &in, const std::string &out)
+{
+    const LoadedTrace t = readBinaryTrace(in);
+    if (out.empty()) {
+        writeChromeJson(std::cout, t);
+        return 0;
+    }
+    std::ofstream os(out);
+    if (!os) {
+        std::fprintf(stderr, "cdptrace: cannot write %s\n",
+                     out.c_str());
+        return 1;
+    }
+    writeChromeJson(os, t);
+    std::fprintf(stderr, "wrote %llu events to %s\n",
+                 static_cast<unsigned long long>(t.events.size()),
+                 out.c_str());
+    return 0;
+}
+
+void
+printPopulation(const Population &p)
+{
+    std::printf("events   %llu (ring overwrote %llu)\n",
+                static_cast<unsigned long long>(p.total),
+                static_cast<unsigned long long>(p.dropped));
+    for (unsigned k = 0; k < numEventKinds; ++k) {
+        if (p.byKind[k]) {
+            std::printf("  %-12s %llu\n",
+                        eventKindName(static_cast<EventKind>(k)),
+                        static_cast<unsigned long long>(p.byKind[k]));
+        }
+    }
+    for (const auto &[reason, n] : p.dropsByReason)
+        std::printf("  drop/%-10s %llu\n", reason.c_str(),
+                    static_cast<unsigned long long>(n));
+    for (unsigned d = 0; d < depthSlots; ++d) {
+        if (p.issueByDepth[d]) {
+            std::printf("  cdp-issue d%-2u %llu\n", d,
+                        static_cast<unsigned long long>(
+                            p.issueByDepth[d]));
+        }
+    }
+}
+
+int
+cmdSummary(const std::string &in)
+{
+    const LoadedTrace t = readBinaryTrace(in);
+    std::printf("trace    %s\ntag      %s\n", in.c_str(),
+                t.tag.c_str());
+    printPopulation(Population::of(t));
+
+    // Per-chain rollup keyed by provenance root. root 0 groups the
+    // unattributed traffic (injected pollution).
+    std::map<ReqId, Chain> chains;
+    for (const TraceEvent &e : t.events) {
+        Chain &c = chains[e.root];
+        ++c.events;
+        c.maxDepth = std::max(c.maxDepth, unsigned(e.depth));
+        if (e.typeOf() == ReqType::ContentPrefetch) {
+            if (e.kindOf() == EventKind::Issue)
+                ++c.issued;
+            else if (e.kindOf() == EventKind::Fill)
+                ++c.filled;
+        }
+        if (e.kindOf() == EventKind::Drop)
+            ++c.drops;
+    }
+    std::printf("chains   %llu roots\n",
+                static_cast<unsigned long long>(chains.size()));
+
+    // Top chains by event count; ties broken by root id so the
+    // listing is deterministic.
+    std::vector<std::pair<ReqId, Chain>> top(chains.begin(),
+                                             chains.end());
+    std::stable_sort(top.begin(), top.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a.second.events != b.second.events)
+                             return a.second.events > b.second.events;
+                         return a.first < b.first;
+                     });
+    const std::size_t n = std::min<std::size_t>(top.size(), 10);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &[root, c] = top[i];
+        std::printf("  root %-10llu events %-6llu cdp issued/filled "
+                    "%llu/%llu drops %-5llu max-depth %u\n",
+                    static_cast<unsigned long long>(root),
+                    static_cast<unsigned long long>(c.events),
+                    static_cast<unsigned long long>(c.issued),
+                    static_cast<unsigned long long>(c.filled),
+                    static_cast<unsigned long long>(c.drops),
+                    c.maxDepth);
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::string &a, const std::string &b)
+{
+    const Population pa = Population::of(readBinaryTrace(a));
+    const Population pb = Population::of(readBinaryTrace(b));
+    std::printf("--- %s\n", a.c_str());
+    printPopulation(pa);
+    std::printf("--- %s\n", b.c_str());
+    printPopulation(pb);
+    if (pa == pb) {
+        std::printf("traces match (same event populations)\n");
+        return 0;
+    }
+    std::printf("traces differ:\n");
+    for (unsigned k = 0; k < numEventKinds; ++k) {
+        if (pa.byKind[k] != pb.byKind[k]) {
+            std::printf(
+                "  %-12s %+lld\n",
+                eventKindName(static_cast<EventKind>(k)),
+                static_cast<long long>(pb.byKind[k]) -
+                    static_cast<long long>(pa.byKind[k]));
+        }
+    }
+    for (unsigned d = 0; d < depthSlots; ++d) {
+        if (pa.issueByDepth[d] != pb.issueByDepth[d]) {
+            std::printf(
+                "  cdp-issue d%-2u %+lld\n", d,
+                static_cast<long long>(pb.issueByDepth[d]) -
+                    static_cast<long long>(pa.issueByDepth[d]));
+        }
+    }
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const std::string cmd = argc > 1 ? argv[1] : "";
+        if (cmd == "chrome" && (argc == 3 || argc == 4))
+            return cmdChrome(argv[2], argc == 4 ? argv[3] : "");
+        if (cmd == "summary" && argc == 3)
+            return cmdSummary(argv[2]);
+        if (cmd == "diff" && argc == 4)
+            return cmdDiff(argv[2], argv[3]);
+        usage();
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cdptrace: error: %s\n", e.what());
+        return 1;
+    }
+}

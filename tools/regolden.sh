@@ -1,0 +1,30 @@
+#!/bin/sh
+# Regenerate the golden statistics snapshots in tests/golden/ from the
+# current build. Run this only when a statistics change is intentional,
+# and commit the refreshed .stats files together with the code change.
+#
+# Usage: tools/regolden.sh [build_dir]   (default: build)
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+cdpsim="$build/tools/cdpsim"
+
+if [ ! -x "$cdpsim" ]; then
+    echo "regolden: $cdpsim not found; build the repo first" >&2
+    echo "  cmake -B \"$build\" -S \"$repo\" && cmake --build \"$build\" -j" >&2
+    exit 1
+fi
+
+# Golden runs are fixed-length and single-job by definition.
+unset CDP_SCALE CDP_JOBS || true
+
+for args_file in "$repo"/tests/golden/*.args; do
+    name=$(basename "$args_file" .args)
+    stats_file="$repo/tests/golden/$name.stats"
+    # shellcheck disable=SC2046  # word-splitting the args is the point
+    "$cdpsim" $(grep -v '^[[:space:]]*#' "$args_file") --stats -j1 \
+        > "$stats_file" 2>/dev/null
+    echo "regolden: wrote $stats_file ($(wc -c < "$stats_file") bytes)"
+done
+echo "regolden: done — review the diff before committing"

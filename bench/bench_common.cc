@@ -21,7 +21,7 @@ namespace
 
 // Process-wide runner, created lazily so a `-j` flag parsed in
 // applyEnv can still pick the worker count. Namespace-scope (not
-// function-local static) deliberately: tools/lint_sim.py flags
+// function-local static) deliberately: tools/cdplint flags
 // function-local static mutable state as the thread-unsafe pattern.
 std::mutex g_runnerMutex;
 std::unique_ptr<runner::SimRunner> g_runner;
@@ -75,6 +75,9 @@ applyEnv(SimConfig &cfg, int argc, char **argv)
 bool
 fullSuite()
 {
+    // cdplint: allow(nondeterminism) -- CDP_FULL_SUITE only selects
+    // which benchmarks run; each benchmark's simulated behavior is
+    // unaffected by the environment.
     const char *v = std::getenv("CDP_FULL_SUITE");
     return v && *v && std::string(v) != "0";
 }

@@ -100,13 +100,25 @@ auditCache(const Cache &c, unsigned max_depth, const char *who)
     }
 }
 
+std::vector<std::pair<Addr, MshrEntry>>
+sortedMshrEntries(const MshrFile &m)
+{
+    const auto &raw = Access::entries(m);
+    std::vector<std::pair<Addr, MshrEntry>> snap(raw.begin(), raw.end());
+    std::sort(snap.begin(), snap.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    return snap;
+}
+
 std::string
 dumpMshr(const MshrFile &m, const char *who)
 {
     std::ostringstream os;
     os << who << ": " << m.size() << "/" << Access::capacity(m)
        << " entries\n";
-    for (const auto &[key, e] : Access::entries(m)) {
+    for (const auto &[key, e] : sortedMshrEntries(m)) {
         os << "  [0x" << std::hex << key << std::dec << "] " << e
            << "\n";
     }
@@ -117,10 +129,9 @@ void
 auditMshr(const MshrFile &m, unsigned content_depth_max,
           const char *who)
 {
-    const auto &entries = Access::entries(m);
-    CDP_CHECK_MSG(entries.size() <= Access::capacity(m),
+    CDP_CHECK_MSG(Access::entries(m).size() <= Access::capacity(m),
                   dumpMshr(m, who));
-    for (const auto &[key, e] : entries) {
+    for (const auto &[key, e] : sortedMshrEntries(m)) {
         CDP_CHECK_MSG(key == lineAlign(key), dumpMshr(m, who));
         CDP_CHECK_MSG(e.linePa == key, dumpMshr(m, who));
         // Promotion legality (Section 3.5): promoting an in-flight

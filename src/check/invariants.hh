@@ -21,6 +21,8 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "check/check.hh"
 #include "memsys/cache.hh"
@@ -70,6 +72,14 @@ void auditTlb(const Tlb &t, const PageTable &pt, const char *who);
  *  or demand-promoted); MemorySystem checks its in-flight counter
  *  against this. */
 std::size_t prefetchEntryCount(const MshrFile &m);
+
+/**
+ * Key-sorted snapshot of the MSHR file's entries. The backing
+ * container is hash-ordered, so every walk that feeds a dump or a
+ * per-entry check message must go through this to keep diagnostics
+ * byte-deterministic across runs.
+ */
+std::vector<std::pair<Addr, MshrEntry>> sortedMshrEntries(const MshrFile &m);
 
 // State-dump helpers (always compiled; evaluated lazily on failure).
 std::string dumpCacheSet(const Cache &c, unsigned set, const char *who);

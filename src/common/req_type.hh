@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory request classes and their arbiter priorities.
+ *
+ * Split out of memsys/request.hh so layers that only need the
+ * request-type vocabulary (the obs/ tracing layer in particular,
+ * which must not include simulator-internal headers) can get it
+ * from common/.
+ *
+ * The paper's arbiters maintain a strict priority order: demand
+ * requests first, then stride prefetches (higher accuracy), then
+ * content prefetches (Section 3.5). Page-walk traffic is demand-class
+ * (a demand load cannot complete without its translation).
+ */
+
+#ifndef CDP_COMMON_REQ_TYPE_HH
+#define CDP_COMMON_REQ_TYPE_HH
+
+#include <cstdint>
+
+namespace cdp
+{
+
+/** Originator / class of a memory transaction. */
+enum class ReqType : std::uint8_t
+{
+    DemandLoad,
+    DemandStore,
+    PageWalk,
+    StridePrefetch,
+    ContentPrefetch,
+};
+
+/** True for the two speculative request classes. */
+constexpr bool
+isPrefetch(ReqType t)
+{
+    return t == ReqType::StridePrefetch || t == ReqType::ContentPrefetch;
+}
+
+/**
+ * Arbiter priority class; lower value = higher priority.
+ * Demand and page-walk traffic outrank stride prefetches, which
+ * outrank content prefetches.
+ */
+constexpr unsigned
+priorityOf(ReqType t)
+{
+    switch (t) {
+      case ReqType::DemandLoad:
+      case ReqType::DemandStore:
+      case ReqType::PageWalk:
+        return 0;
+      case ReqType::StridePrefetch:
+        return 1;
+      case ReqType::ContentPrefetch:
+        return 2;
+    }
+    return 2;
+}
+
+/** Number of distinct priority classes. */
+constexpr unsigned numPriorities = 3;
+
+/** Human-readable request-type name (for traces and tests). */
+inline const char *
+reqTypeName(ReqType t)
+{
+    switch (t) {
+      case ReqType::DemandLoad: return "demand-load";
+      case ReqType::DemandStore: return "demand-store";
+      case ReqType::PageWalk: return "page-walk";
+      case ReqType::StridePrefetch: return "stride-pf";
+      case ReqType::ContentPrefetch: return "content-pf";
+    }
+    return "?";
+}
+
+} // namespace cdp
+
+#endif // CDP_COMMON_REQ_TYPE_HH

@@ -84,14 +84,15 @@ pageOffset(Addr a)
  * Cycle is unsigned, so a reversed subtraction silently yields an
  * astronomically large latency instead of a crash — the classic
  * simulator timing bug. All Cycle differences in the tree go through
- * this helper (enforced by tools/lint_sim.py); under
+ * this helper (enforced by tools/cdplint's cycle-arith rule); under
  * CDP_ENABLE_CHECKS a non-monotonic pair aborts.
  */
 inline Cycle
 cyclesSince(Cycle now, Cycle then)
 {
     CDP_CHECK(now >= then);
-    return now - then; // lint-ok: cycle-arith (the helper itself)
+    // cdplint: allow(cycle-arith) -- this is the checked helper itself
+    return now - then;
 }
 
 /**
@@ -102,7 +103,8 @@ inline Cycle
 cyclesUntil(Cycle deadline, Cycle now)
 {
     CDP_CHECK(deadline >= now);
-    return deadline - now; // lint-ok: cycle-arith (the helper itself)
+    // cdplint: allow(cycle-arith) -- this is the checked helper itself
+    return deadline - now;
 }
 
 } // namespace cdp

@@ -22,8 +22,8 @@ ContentPrefetcher::ContentPrefetcher(const CdpConfig &cfg,
               "reinforcement-driven rescans"),
       candidates(stats ? *stats : dummyGroup, name + ".candidates",
                  "candidate virtual addresses found"),
-      widthEmitted(stats ? *stats : dummyGroup, name + ".width_lines",
-                   "next/prev-line companion prefetches emitted"),
+      widthLines(stats ? *stats : dummyGroup, name + ".width_lines",
+                 "next/prev-line companion prefetches emitted"),
       depthSuppressed(stats ? *stats : dummyGroup,
                       name + ".depth_suppressed",
                       "fills not scanned: depth at threshold")
@@ -83,14 +83,14 @@ ContentPrefetcher::scanFill(const std::uint8_t *line, Addr trigger_ea,
             const Addr l = target_line - p * lineBytes;
             if (l < target_line && seen.insert(l).second) {
                 out.push_back({target, l, child_depth, true, hop++});
-                ++widthEmitted;
+                ++widthLines;
             }
         }
         for (unsigned n = 1; n <= cfg.nextLines; ++n) {
             const Addr l = target_line + n * lineBytes;
             if (l > target_line && seen.insert(l).second) {
                 out.push_back({target, l, child_depth, true, hop++});
-                ++widthEmitted;
+                ++widthLines;
             }
         }
     }

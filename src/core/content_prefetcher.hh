@@ -158,7 +158,7 @@ class ContentPrefetcher
     Scalar scans;
     Scalar rescans;
     Scalar candidates;
-    Scalar widthEmitted;
+    Scalar widthLines;
     Scalar depthSuppressed;
 };
 

@@ -10,8 +10,8 @@ OooCore::OooCore(const CoreConfig &cfg, UopSource &source, CoreMemIf &mem,
                  StatGroup *stats, const std::string &name)
     : cfg(cfg), source(source), mem(mem),
       bp(cfg.bpEntries, stats, name + ".bp"),
-      retired(stats ? *stats : dummyGroup, name + ".retired_uops",
-              "uops retired"),
+      uopsRetired(stats ? *stats : dummyGroup, name + ".retired_uops",
+                  "uops retired"),
       issuedLoads(stats ? *stats : dummyGroup, name + ".loads",
                   "demand loads issued"),
       issuedStores(stats ? *stats : dummyGroup, name + ".stores",
@@ -38,7 +38,7 @@ OooCore::retireStage()
         if (head.isStore)
             --storesInRob;
         rob.pop_front();
-        ++retired;
+        ++uopsRetired;
     }
 }
 
@@ -121,11 +121,11 @@ OooCore::step()
 {
     mem.advance(cycle);
 
-    const std::uint64_t retired_before = retired.value();
+    const std::uint64_t retired_before = uopsRetired.value();
     const std::size_t rob_before = rob.size();
     retireStage();
     issueStage();
-    const bool progressed = retired.value() != retired_before ||
+    const bool progressed = uopsRetired.value() != retired_before ||
                             rob.size() != rob_before;
 
     Cycle next = cycle + 1;
@@ -147,10 +147,10 @@ Cycle
 OooCore::run(std::uint64_t n)
 {
     const Cycle start = cycle;
-    const std::uint64_t target = retired.value() + n;
-    while (retired.value() < target)
+    const std::uint64_t target = uopsRetired.value() + n;
+    while (uopsRetired.value() < target)
         step();
-    return cycle - start;
+    return cyclesSince(cycle, start);
 }
 
 } // namespace cdp

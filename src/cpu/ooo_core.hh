@@ -91,13 +91,13 @@ class OooCore
     Cycle run(std::uint64_t n);
 
     Cycle currentCycle() const { return cycle; }
-    std::uint64_t retiredUops() const { return retired.value(); }
+    std::uint64_t retiredUops() const { return uopsRetired.value(); }
 
     /** IPC over everything retired so far (after last stat reset). */
     double ipc() const
     {
-        const Cycle c = cycle - cycleBase;
-        return c ? static_cast<double>(retired.value()) / c : 0.0;
+        const Cycle c = cyclesSince(cycle, cycleBase);
+        return c ? static_cast<double>(uopsRetired.value()) / c : 0.0;
     }
 
     /**
@@ -142,7 +142,7 @@ class OooCore
     Cycle regReady[numRegs] = {};
 
     StatGroup dummyGroup;
-    Scalar retired;
+    Scalar uopsRetired;
     Scalar issuedLoads;
     Scalar issuedStores;
     Scalar issuedBranches;

@@ -10,8 +10,8 @@ Bus::Bus(Cycle latency_cycles, Cycle occupancy_cycles, StatGroup *stats,
     : latency(latency_cycles), occupancy(occupancy_cycles),
       transfers(stats ? *stats : dummyGroup, name + ".transfers",
                 "line transfers serviced"),
-      busy(stats ? *stats : dummyGroup, name + ".busy_cycles",
-           "cycles the bus was occupied")
+      cyclesBusy(stats ? *stats : dummyGroup, name + ".busy_cycles",
+                 "cycles the bus was occupied")
 {
 }
 
@@ -21,7 +21,7 @@ Bus::service(Cycle now)
     const Cycle start = std::max(now, busyUntil);
     busyUntil = start + occupancy;
     ++transfers;
-    busy += occupancy;
+    cyclesBusy += occupancy;
     return start + latency;
 }
 

@@ -57,7 +57,7 @@ class Bus
     std::uint64_t transferCount() const { return transfers.value(); }
 
     /** Total cycles the bus spent occupied (bandwidth accounting). */
-    std::uint64_t busyCycles() const { return busy.value(); }
+    std::uint64_t busyCycles() const { return cyclesBusy.value(); }
 
   private:
     Cycle latency;
@@ -66,7 +66,7 @@ class Bus
 
     StatGroup dummyGroup;
     Scalar transfers;
-    Scalar busy;
+    Scalar cyclesBusy;
 };
 
 } // namespace cdp

@@ -1,79 +1,21 @@
 /**
  * @file
  * Memory transaction types shared by the caches, arbiters, bus, and
- * prefetchers.
- *
- * The paper's arbiters maintain a strict priority order: demand
- * requests first, then stride prefetches (higher accuracy), then
- * content prefetches (Section 3.5). Page-walk traffic is demand-class
- * (a demand load cannot complete without its translation).
+ * prefetchers. The request-class vocabulary (ReqType, priorityOf,
+ * reqTypeName) lives in common/req_type.hh so observer code can name
+ * request classes without depending on memsys/.
  */
 
 #ifndef CDP_MEMSYS_REQUEST_HH
 #define CDP_MEMSYS_REQUEST_HH
 
 #include <cstdint>
-#include <string>
 
+#include "common/req_type.hh"
 #include "common/types.hh"
 
 namespace cdp
 {
-
-/** Originator / class of a memory transaction. */
-enum class ReqType : std::uint8_t
-{
-    DemandLoad,
-    DemandStore,
-    PageWalk,
-    StridePrefetch,
-    ContentPrefetch,
-};
-
-/** True for the two speculative request classes. */
-constexpr bool
-isPrefetch(ReqType t)
-{
-    return t == ReqType::StridePrefetch || t == ReqType::ContentPrefetch;
-}
-
-/**
- * Arbiter priority class; lower value = higher priority.
- * Demand and page-walk traffic outrank stride prefetches, which
- * outrank content prefetches.
- */
-constexpr unsigned
-priorityOf(ReqType t)
-{
-    switch (t) {
-      case ReqType::DemandLoad:
-      case ReqType::DemandStore:
-      case ReqType::PageWalk:
-        return 0;
-      case ReqType::StridePrefetch:
-        return 1;
-      case ReqType::ContentPrefetch:
-        return 2;
-    }
-    return 2;
-}
-
-/** Number of distinct priority classes. */
-constexpr unsigned numPriorities = 3;
-
-/** Human-readable request-type name (for traces and tests). */
-inline const char *
-reqTypeName(ReqType t)
-{
-    switch (t) {
-      case ReqType::DemandLoad: return "demand-load";
-      case ReqType::DemandStore: return "demand-store";
-      case ReqType::PageWalk: return "page-walk";
-      case ReqType::StridePrefetch: return "stride-pf";
-      case ReqType::ContentPrefetch: return "content-pf";
-    }
-    return "?";
-}
 
 /**
  * One memory transaction. Carried through arbiters, the bus, and the

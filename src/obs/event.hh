@@ -29,8 +29,8 @@
 
 #include <cstdint>
 
+#include "common/req_type.hh"
 #include "common/types.hh"
-#include "memsys/request.hh"
 
 namespace cdp::obs
 {

@@ -164,7 +164,7 @@ MemorySystem::checkInvariants() const
     }
     CDP_CHECK_MSG(scheduled.size() == mshrs.size(),
                   check::dumpMshr(mshrs, "mshr"));
-    for (const auto &[pa, entry] : check::Access::entries(mshrs)) {
+    for (const auto &[pa, entry] : check::sortedMshrEntries(mshrs)) {
         (void)entry;
         CDP_CHECK_MSG(scheduled.count(pa) == 1,
                       check::dumpMshr(mshrs, "mshr"));

@@ -1,0 +1,16 @@
+"""Entry point: ``python3 tools/cdplint [paths...]``.
+
+Running a directory puts that directory on sys.path, so the engine
+and rule modules import as plain top-level modules.
+"""
+
+import sys
+
+from engine import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv[1:]))
+    except BrokenPipeError:
+        # Output piped into head & friends; not an analysis failure.
+        sys.exit(0)

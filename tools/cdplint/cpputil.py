@@ -1,0 +1,152 @@
+"""Small token-stream utilities shared by the rules."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from lexer import IDENT, PUNCT, Token
+
+_OPEN = {"(": ")", "{": "}", "[": "]"}
+
+
+def match_close(toks: List[Token], i: int) -> int:
+    """Index of the token closing the bracket at ``i``; len(toks) if
+    unbalanced."""
+    opener = toks[i].text
+    closer = _OPEN[opener]
+    depth = 0
+    j = i
+    n = len(toks)
+    while j < n:
+        t = toks[j]
+        if t.kind == PUNCT:
+            if t.text == opener:
+                depth += 1
+            elif t.text == closer:
+                depth -= 1
+                if depth == 0:
+                    return j
+        j += 1
+    return n
+
+
+def operand_left(toks: List[Token], i: int
+                 ) -> Tuple[Optional[str], bool]:
+    """Resolve the postfix expression ending just before index ``i``
+    (exclusive) to its final member/identifier.
+
+    Returns (name, is_call): for ``e->completion`` → ("completion",
+    False); for ``bus.freeCycle()`` → ("freeCycle", True); (None, _)
+    when the left operand is not an identifier chain.
+    """
+    j = i - 1
+    if j < 0:
+        return None, False
+    is_call = False
+    if toks[j].kind == PUNCT and toks[j].text == ")":
+        # Walk back to the matching open paren, then the callee name.
+        depth = 0
+        while j >= 0:
+            if toks[j].text == ")":
+                depth += 1
+            elif toks[j].text == "(":
+                depth -= 1
+                if depth == 0:
+                    break
+            j -= 1
+        j -= 1
+        is_call = True
+    if j < 0 or toks[j].kind != IDENT:
+        return None, is_call
+    return toks[j].text, is_call
+
+
+def operand_right(toks: List[Token], i: int
+                  ) -> Tuple[Optional[str], bool]:
+    """Resolve the postfix expression starting at index ``i`` to its
+    final member identifier: ``line->fillCycle`` → ("fillCycle",
+    False); ``bus.freeCycle()`` → ("freeCycle", True)."""
+    n = len(toks)
+    j = i
+    if j < n and toks[j].kind == PUNCT and toks[j].text in ("*", "&"):
+        j += 1  # deref / address-of prefix
+    if j >= n or toks[j].kind != IDENT:
+        return None, False
+    last = toks[j].text
+    j += 1
+    while j + 1 < n and toks[j].kind == PUNCT and \
+            toks[j].text in (".", "->", "::") and \
+            toks[j + 1].kind == IDENT:
+        last = toks[j + 1].text
+        j += 2
+    is_call = j < n and toks[j].kind == PUNCT and toks[j].text == "("
+    return last, is_call
+
+
+def idents_in(toks: List[Token], lo: int, hi: int) -> List[str]:
+    """All identifier texts in toks[lo:hi]."""
+    return [t.text for t in toks[lo:hi] if t.kind == IDENT]
+
+
+def find_range_fors(toks: List[Token]):
+    """Yield (for_index, iter_lo, iter_hi, body_lo, body_hi) for each
+    range-based for statement; iter covers the tokens after ':' up to
+    the closing ')', body covers the loop body (brace contents or the
+    single statement)."""
+    n = len(toks)
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text != "for":
+            continue
+        if i + 1 >= n or toks[i + 1].text != "(":
+            continue
+        close = match_close(toks, i + 1)
+        if close >= n:
+            continue
+        # Find a ':' at paren depth 1 that is not part of '::'.
+        colon = -1
+        depth = 0
+        for j in range(i + 1, close):
+            txt = toks[j].text
+            if toks[j].kind != PUNCT:
+                continue
+            if txt in "([{":
+                depth += 1
+            elif txt in ")]}":
+                depth -= 1
+            elif txt == ":" and depth == 1:
+                colon = j
+                break
+        if colon < 0:
+            continue  # classic for loop
+        body_lo = close + 1
+        if body_lo < n and toks[body_lo].text == "{":
+            body_hi = match_close(toks, body_lo)
+        else:
+            body_hi = body_lo
+            while body_hi < n and toks[body_hi].text != ";":
+                if toks[body_hi].text == "{":
+                    body_hi = match_close(toks, body_hi)
+                body_hi += 1
+        yield i, colon + 1, close, body_lo, body_hi
+
+
+def split_top_args(toks: List[Token], lo: int, hi: int
+                   ) -> List[Tuple[int, int]]:
+    """Split toks[lo:hi] (contents of an argument list) on top-level
+    commas; returns (start, stop) index pairs."""
+    args = []
+    depth = 0
+    start = lo
+    for j in range(lo, hi):
+        txt = toks[j].text
+        if toks[j].kind == PUNCT:
+            if txt in "([{":
+                depth += 1
+            elif txt in ")]}":
+                depth -= 1
+            elif txt == "," and depth == 0:
+                args.append((start, j))
+                start = j + 1
+    if start < hi:
+        args.append((start, hi))
+    return args

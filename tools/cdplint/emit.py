@@ -1,0 +1,90 @@
+"""SARIF 2.1.0 emitter.
+
+Produces a minimal-but-valid static-analysis log the GitHub
+code-scanning upload action accepts: one run, tool.driver metadata
+with the full rule catalog, and one result per finding with a
+physical location. Text output lives in engine.main (it is just the
+finding lines); this module only handles the structured format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVEL = {"error": "error", "warning": "warning"}
+
+
+def to_sarif(findings: List, rules_map: Dict[str, type],
+             builtin: Dict[str, Tuple[str, str]]) -> str:
+    rule_descs = []
+    rule_index = {}
+    for rid, cls in sorted(rules_map.items()):
+        rule_index[rid] = len(rule_descs)
+        rule_descs.append({
+            "id": rid,
+            "name": _camel(rid),
+            "shortDescription": {
+                "text": cls.doc.strip().splitlines()[0].strip()},
+            "fullDescription": {
+                "text": " ".join(ln.strip() for ln in
+                                 cls.doc.strip().splitlines())},
+            "defaultConfiguration": {
+                "level": _LEVEL.get(cls.severity, "error")},
+        })
+    for rid, (sev, doc) in sorted(builtin.items()):
+        rule_index[rid] = len(rule_descs)
+        rule_descs.append({
+            "id": rid,
+            "name": _camel(rid),
+            "shortDescription": {"text": doc.split(". ")[0]},
+            "fullDescription": {"text": doc},
+            "defaultConfiguration": {"level": _LEVEL.get(sev, "error")},
+        })
+
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": _LEVEL.get(f.severity, "error"),
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": "%SRCROOT%",
+                    },
+                    "region": {
+                        "startLine": f.line,
+                        "startColumn": max(f.col, 1),
+                    },
+                },
+            }],
+        })
+
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "cdplint",
+                    "informationUri":
+                        "tools/cdplint (in-repo static analyzer)",
+                    "version": "1.0.0",
+                    "rules": rule_descs,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2) + "\n"
+
+
+def _camel(rid: str) -> str:
+    return "".join(part.capitalize() for part in rid.split("-"))

@@ -1,0 +1,391 @@
+"""cdplint engine: rule registry, suppressions, baseline, driver.
+
+A rule is a class with class attributes:
+
+    id        stable kebab-case rule id (finding + suppression key)
+    severity  "error" or "warning" (SARIF level; both gate the exit
+              code — warnings are contracts too, just newer ones)
+    doc       one-paragraph description shown by --list-rules and
+              embedded in the SARIF rule metadata
+
+and a ``check(ctx)`` method yielding Finding objects. Register with
+the @rule decorator. Rules never re-parse comments or strings: they
+see the lexed token stream via FileContext.
+
+Suppressions: ``// cdplint: allow(rule-a, rule-b) -- reason``.
+The reason is mandatory; a suppression without one is itself a
+finding (bad-suppression), as is a suppression that matched nothing
+(unused-suppression). A suppression comment on a line of its own
+applies to the next line that has code on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import lexer
+from decls import DeclIndex, build_index
+
+TOOL_NAME = "cdplint"
+TOOL_VERSION = "1.0.0"
+
+SEV_ERROR = "error"
+SEV_WARNING = "warning"
+
+_RULES: Dict[str, type] = {}
+
+
+def rule(cls):
+    """Class decorator: register a rule by its ``id``."""
+    rid = cls.id
+    if rid in _RULES:
+        raise ValueError(f"duplicate rule id {rid}")
+    _RULES[rid] = cls
+    return cls
+
+
+def all_rules() -> Dict[str, type]:
+    # Import for side effect: each rule module registers itself.
+    import rules  # noqa: F401
+    return dict(_RULES)
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str       # repo-relative, forward slashes
+    line: int
+    col: int
+    message: str
+    severity: str = SEV_ERROR
+
+    def text(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity}[{self.rule}]: {self.message}")
+
+
+@dataclass
+class Suppression:
+    rules: Set[str]
+    reason: str
+    comment_line: int
+    target_line: int  # line the suppression applies to
+    used: bool = False
+    malformed: bool = False
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one file."""
+    path: str                   # as reported (relative if possible)
+    lines: List[str]            # raw source lines (0-based list)
+    tokens: List[lexer.Token]   # code tokens (no comments)
+    comments: List[lexer.Comment]
+    index: DeclIndex            # global declaration index
+    root: Path                  # lint root (for sibling lookups)
+    # code tokens grouped by line for line-oriented rules
+    tokens_by_line: Dict[int, List[lexer.Token]] = field(
+        default_factory=dict)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+_ALLOW_RE = re.compile(
+    r"cdplint:\s*allow\(\s*([\w\-, ]*?)\s*\)(?:\s*--\s*(.*))?\s*$")
+_LEGACY_RE = re.compile(r"lint-ok:\s*([\w-]+)")
+
+
+def scan_suppressions(ctx: FileContext) -> List[Suppression]:
+    out: List[Suppression] = []
+    code_lines = set(ctx.tokens_by_line.keys())
+    for c in ctx.comments:
+        m = _ALLOW_RE.search(c.text)
+        if m is None:
+            if "cdplint:" in c.text:
+                # Looks like an attempted directive but did not parse.
+                out.append(Suppression(set(), "", c.line, c.line,
+                                       malformed=True))
+            continue
+        rules_txt, reason = m.group(1), (m.group(2) or "").strip()
+        names = {r.strip() for r in rules_txt.split(",") if r.strip()}
+        target = c.line
+        if c.line not in code_lines:
+            # Standalone comment line: applies to the next code line.
+            nxt = [ln for ln in code_lines if ln > c.line]
+            target = min(nxt) if nxt else c.line
+        s = Suppression(names, reason, c.line, target)
+        if not names or not reason:
+            s.malformed = True
+        out.append(s)
+    return out
+
+
+def legacy_waivers(ctx: FileContext) -> List[Tuple[int, str]]:
+    """Old-style ``// lint-ok: rule`` comments (to be migrated)."""
+    out = []
+    for c in ctx.comments:
+        m = _LEGACY_RE.search(c.text)
+        if m:
+            out.append((c.line, m.group(1)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Baseline
+# ---------------------------------------------------------------------------
+
+def fingerprint(f: Finding, ctx_lines: List[str]) -> str:
+    """Stable id for a finding: rule + path + hash of the line text,
+    so the baseline survives unrelated line-number churn."""
+    text = ""
+    if 1 <= f.line <= len(ctx_lines):
+        text = ctx_lines[f.line - 1].strip()
+    h = hashlib.sha256(
+        f"{f.rule}|{f.path}|{text}".encode()).hexdigest()[:16]
+    return h
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    """Baseline file: JSON list of {rule, path, fingerprint, count}."""
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"{TOOL_NAME}: bad baseline {path}: {e}")
+    out: Dict[str, int] = {}
+    for entry in data:
+        out[entry["fingerprint"]] = out.get(entry["fingerprint"], 0) + \
+            int(entry.get("count", 1))
+    return out
+
+
+def write_baseline(path: Path, findings: List[Tuple[Finding, str]]) -> None:
+    counts: Dict[Tuple[str, str, str], int] = {}
+    for f, fp in findings:
+        counts[(f.rule, f.path, fp)] = counts.get(
+            (f.rule, f.path, fp), 0) + 1
+    data = [
+        {"rule": r, "path": p, "fingerprint": fp, "count": c}
+        for (r, p, fp), c in sorted(counts.items())
+    ]
+    path.write_text(json.dumps(data, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def collect_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for p in (Path(p) for p in paths):
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.hh")))
+            files.extend(sorted(p.rglob("*.cc")))
+        elif p.exists():
+            files.append(p)
+        else:
+            raise SystemExit(f"{TOOL_NAME}: no such path: {p}")
+    return files
+
+
+def relpath(p: Path) -> str:
+    try:
+        return p.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def run_analysis(files: List[Path],
+                 only_rules: Optional[Set[str]] = None,
+                 ) -> Tuple[List[FileContext], List[Finding]]:
+    """Lex, index, and run every registered rule over ``files``."""
+    streams = {}
+    contexts: List[FileContext] = []
+    for f in files:
+        text = f.read_text(errors="replace")
+        toks, comments = lexer.lex(text)
+        rel = relpath(f)
+        streams[rel] = toks
+        ctx = FileContext(path=rel, lines=text.splitlines(),
+                          tokens=toks, comments=comments,
+                          index=None, root=f.parent)  # type: ignore
+        for t in toks:
+            ctx.tokens_by_line.setdefault(t.line, []).append(t)
+        contexts.append(ctx)
+
+    index = build_index(streams)
+    findings: List[Finding] = []
+    rules_map = all_rules()
+    active = {rid: cls() for rid, cls in sorted(rules_map.items())
+              if only_rules is None or rid in only_rules}
+
+    for ctx in contexts:
+        ctx.index = index
+        sups = scan_suppressions(ctx)
+        raw: List[Finding] = []
+        for rid, r in active.items():
+            raw.extend(r.check(ctx))
+
+        # Apply suppressions.
+        kept: List[Finding] = []
+        for f in sorted(raw, key=lambda x: (x.line, x.col, x.rule)):
+            sup = next((s for s in sups
+                        if not s.malformed and s.target_line == f.line
+                        and f.rule in s.rules), None)
+            if sup is not None:
+                sup.used = True
+                continue
+            kept.append(f)
+
+        # Suppression hygiene findings.
+        for s in sups:
+            if s.malformed:
+                kept.append(Finding(
+                    "bad-suppression", ctx.path, s.comment_line, 1,
+                    "malformed suppression; use "
+                    "'// cdplint: allow(rule) -- reason' (the reason "
+                    "is mandatory)"))
+            elif not s.used and (only_rules is None or
+                                 s.rules & set(active)):
+                kept.append(Finding(
+                    "unused-suppression", ctx.path, s.comment_line, 1,
+                    f"suppression for {', '.join(sorted(s.rules))} "
+                    "matched no finding; delete it",
+                    severity=SEV_WARNING))
+        for line, rid in legacy_waivers(ctx):
+            kept.append(Finding(
+                "legacy-waiver", ctx.path, line, 1,
+                f"old-style '// lint-ok: {rid}' waiver; migrate to "
+                f"'// cdplint: allow({rid}) -- reason'"))
+
+        findings.extend(kept)
+    return contexts, findings
+
+
+def builtin_rule_meta() -> Dict[str, Tuple[str, str]]:
+    """Engine-level findings that are not registered rules."""
+    return {
+        "bad-suppression": (
+            SEV_ERROR,
+            "A cdplint suppression comment that does not parse or "
+            "lacks the mandatory '-- reason' clause."),
+        "unused-suppression": (
+            SEV_WARNING,
+            "A suppression that matched no finding on its target "
+            "line; stale waivers hide real regressions."),
+        "legacy-waiver": (
+            SEV_ERROR,
+            "An old-style '// lint-ok:' waiver from lint_sim.py; "
+            "migrate to '// cdplint: allow(rule) -- reason'."),
+    }
+
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(
+        prog=TOOL_NAME,
+        description="Rule-engine static analyzer enforcing the CDP "
+                    "simulator's determinism and observer-purity "
+                    "contracts.")
+    ap.add_argument("paths", nargs="*", default=["src"],
+                    help="files or directories to lint (default: src)")
+    ap.add_argument("--sarif", metavar="FILE",
+                    help="also write findings as SARIF 2.1.0")
+    ap.add_argument("--baseline", metavar="FILE",
+                    default=str(Path(__file__).resolve().parent /
+                                "baseline.json"),
+                    help="baseline file of grandfathered findings "
+                         "(default: tools/cdplint/baseline.json)")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline file")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline from current findings "
+                         "and exit 0")
+    ap.add_argument("--rule", action="append", metavar="ID",
+                    help="run only the named rule(s)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print the rule catalog and exit")
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as e:
+        return 2 if e.code not in (0, None) else 0
+
+    rules_map = all_rules()
+    if args.list_rules:
+        for rid, cls in sorted(rules_map.items()):
+            print(f"{rid} [{cls.severity}]")
+            for ln in cls.doc.strip().splitlines():
+                print(f"    {ln.strip()}")
+        for rid, (sev, doc) in sorted(builtin_rule_meta().items()):
+            print(f"{rid} [{sev}] (engine built-in)")
+            print(f"    {doc}")
+        return 0
+
+    only = set(args.rule) if args.rule else None
+    if only:
+        unknown = only - set(rules_map)
+        if unknown:
+            print(f"{TOOL_NAME}: unknown rule(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    try:
+        files = collect_files(args.paths or ["src"])
+    except SystemExit as e:
+        print(e, file=sys.stderr)
+        return 2
+
+    contexts, findings = run_analysis(files, only)
+    lines_by_path = {c.path: c.lines for c in contexts}
+    with_fp = [(f, fingerprint(f, lines_by_path.get(f.path, [])))
+               for f in findings]
+
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, with_fp)
+        print(f"{TOOL_NAME}: baseline written to {baseline_path} "
+              f"({len(with_fp)} finding(s))")
+        return 0
+
+    if not args.no_baseline:
+        budget = load_baseline(baseline_path)
+        fresh = []
+        for f, fp in with_fp:
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                continue
+            fresh.append((f, fp))
+        with_fp = fresh
+
+    final = [f for f, _ in with_fp]
+    final.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    for f in final:
+        print(f.text())
+
+    if args.sarif:
+        import emit
+        Path(args.sarif).write_text(
+            emit.to_sarif(final, rules_map, builtin_rule_meta()))
+
+    nfiles = len(files)
+    if final:
+        print(f"{TOOL_NAME}: {len(final)} finding(s) in {nfiles} "
+              f"file(s)", file=sys.stderr)
+        return 1
+    print(f"{TOOL_NAME}: {nfiles} files clean "
+          f"({len(rules_map) if not only else len(only)} rules)")
+    return 0

@@ -1,0 +1,18 @@
+// Fixture: going through the checked helpers is fine, as is
+// subtraction between untyped integers.
+
+using Cycle = unsigned long long;
+
+Cycle cyclesSince(Cycle now, Cycle then);
+
+Cycle
+elapsed(Cycle now, Cycle enqueued)
+{
+    return cyclesSince(now, enqueued);
+}
+
+int
+delta(int a, int b)
+{
+    return a - b;
+}

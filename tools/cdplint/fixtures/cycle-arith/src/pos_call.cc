@@ -1,0 +1,13 @@
+// Fixture: subtraction where one operand is a call to a
+// Cycle-returning function is also a finding.
+
+using Cycle = unsigned long long;
+
+Cycle freeCycle();
+
+Cycle
+waitFor(Cycle start)
+{
+    Cycle wait = freeCycle() - start; // FINDING cycle-arith
+    return wait;
+}

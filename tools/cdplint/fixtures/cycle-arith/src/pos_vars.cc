@@ -1,0 +1,10 @@
+// Fixture: direct subtraction between Cycle-typed variables is a
+// finding — it must go through cyclesSince/cyclesUntil.
+
+using Cycle = unsigned long long;
+
+Cycle
+latencyOf(Cycle now, Cycle enqueued)
+{
+    return now - enqueued; // FINDING cycle-arith
+}

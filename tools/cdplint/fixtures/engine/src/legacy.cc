@@ -1,0 +1,8 @@
+// Fixture: old-style lint_sim waivers are flagged for migration and
+// no longer suppress the underlying finding.
+
+int *
+grab()
+{
+    return new int; // lint-ok: raw-new-delete
+}

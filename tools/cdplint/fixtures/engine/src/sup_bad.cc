@@ -1,0 +1,9 @@
+// Fixture: a suppression without the mandatory `-- reason` clause is
+// itself a finding, and does not suppress anything.
+
+int *
+grab()
+{
+    // cdplint: allow(raw-new-delete)
+    return new int[4]; // FINDING raw-new-delete (suppression malformed)
+}

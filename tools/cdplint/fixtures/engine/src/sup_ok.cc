@@ -1,0 +1,9 @@
+// Fixture: a well-formed suppression (with a reason) silences the
+// finding on its target line — this file must produce no findings.
+
+int *
+grab()
+{
+    // cdplint: allow(raw-new-delete) -- fixture: round-trip of a valid suppression
+    return new int[4];
+}

@@ -1,0 +1,9 @@
+// Fixture: a suppression that matches no finding is stale and gets
+// reported (as a warning) so waivers cannot quietly outlive fixes.
+
+int
+identity(int v)
+{
+    // cdplint: allow(cycle-arith) -- fixture: nothing left to suppress
+    return v;
+}

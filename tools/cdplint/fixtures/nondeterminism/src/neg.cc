@@ -1,0 +1,20 @@
+// Fixture: deterministic simulated code — seeded RNG, stable ids in
+// output — is clean. Mentions of "%p" in comments do not count.
+
+#include <cstdint>
+#include <iostream>
+
+std::uint64_t
+xorshift(std::uint64_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+}
+
+void
+report(std::uint64_t id)
+{
+    std::cout << "req id=" << id << "\n";
+}

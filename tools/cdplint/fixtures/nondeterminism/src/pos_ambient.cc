@@ -1,0 +1,18 @@
+// Fixture: wall clocks, getenv, and pointer values formatted into
+// output are findings outside src/runner and tools.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+void
+stampAndDump(const int *p)
+{
+    auto t0 = std::chrono::steady_clock::now(); // FINDING nondeterminism
+    const char *home = std::getenv("HOME");     // FINDING nondeterminism
+    std::printf("at %p\n", (const void *)p);    // FINDING nondeterminism
+    std::cout << static_cast<const void *>(p);  // FINDING nondeterminism
+    std::cout << &t0;                           // FINDING nondeterminism
+    (void)home;
+}

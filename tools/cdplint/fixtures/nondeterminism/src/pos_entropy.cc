@@ -1,0 +1,11 @@
+// Fixture: std::random_device is banned everywhere — hardware
+// entropy breaks run-to-run reproducibility.
+
+#include <random>
+
+unsigned
+seedFromHardware()
+{
+    std::random_device rd; // FINDING nondeterminism
+    return rd();
+}

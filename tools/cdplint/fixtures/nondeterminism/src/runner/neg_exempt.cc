@@ -1,0 +1,14 @@
+// Fixture: src/runner is host-side orchestration — wall clocks and
+// environment knobs are allowed there (random_device still is not).
+
+#include <chrono>
+#include <cstdlib>
+
+double
+hostSeconds()
+{
+    const char *jobs = std::getenv("CDP_JOBS");
+    (void)jobs;
+    auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,18 @@
+// Fixture: a pure observer — common/ includes, reading values,
+// writing to its own sink — is clean. Container mutations on the
+// sink's own state (insert/push_back) are not simulator mutators.
+
+#include "common/types.hh"
+#include "obs/event.hh"
+
+#include <vector>
+
+struct Sink
+{
+    std::vector<int> rows;
+
+    void note(int kind, int value)
+    {
+        rows.push_back(kind + value);
+    }
+};

@@ -1,0 +1,10 @@
+// Fixture: observer code including a simulator-internal header is a
+// finding — the tracer may only see what is handed to it.
+
+#include "memsys/request.hh" // FINDING observer-purity
+#include "sim/memory_system.hh" // FINDING observer-purity
+
+void
+observe()
+{
+}

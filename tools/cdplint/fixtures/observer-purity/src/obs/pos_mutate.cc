@@ -1,0 +1,17 @@
+// Fixture: observer code naming Stat types or calling mutating
+// simulator methods is a finding.
+
+struct MemSys;
+
+void
+record(MemSys *sys, int v)
+{
+    Scalar traced; // FINDING observer-purity (names a Stat type)
+    (void)v;
+}
+
+void
+flush(MemSys &sys)
+{
+    sys.drainAll(0); // FINDING observer-purity (mutator call)
+}

@@ -1,0 +1,15 @@
+// Fixture: out-of-line Tracer:: member bodies are held to the same
+// purity contract even outside src/obs.
+
+struct Core;
+
+struct Tracer
+{
+    void onRetire(Core &core, int ev);
+};
+
+void
+Tracer::onRetire(Core &core, int ev)
+{
+    core.sample(ev); // FINDING observer-purity (mutator in Tracer::)
+}

@@ -1,0 +1,19 @@
+// Fixture: placement new and `= delete` are not findings, nor is
+// the word `new` inside comments or strings.
+
+#include <new>
+
+struct Pinned
+{
+    Pinned(const Pinned &) = delete;
+    int v = 0;
+};
+
+void
+construct(void *slot)
+{
+    // new objects are constructed in place here
+    new (slot) Pinned{};
+    const char *msg = "delete me later";
+    (void)msg;
+}

@@ -1,0 +1,7 @@
+// Fixture: raw `delete` is a finding.
+
+void
+freeBuffer(int *p)
+{
+    delete[] p; // FINDING raw-new-delete
+}

@@ -1,0 +1,7 @@
+// Fixture: raw `new` outside backing_store is a finding.
+
+int *
+makeBuffer()
+{
+    return new int[16]; // FINDING raw-new-delete
+}

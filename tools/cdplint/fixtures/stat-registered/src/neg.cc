@@ -1,0 +1,12 @@
+#include "neg.hh"
+
+#include <string>
+
+static std::string prefix();
+
+CoreStats::CoreStats(StatGroup &g)
+    : hits(g, "core.hits", "demand hits"),
+      uopsDone(g, prefix() + ".done_uops", "uops completed"),
+      latency(g, "core.latency", "load-to-use latency")
+{
+}

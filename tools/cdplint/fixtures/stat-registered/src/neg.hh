@@ -1,0 +1,20 @@
+// Fixture: properly registered stats — exact name, dotted-segment
+// name, word-order permutation, and inline registration — are clean.
+
+#ifndef FIXTURE_NEG_HH
+#define FIXTURE_NEG_HH
+
+struct StatGroup;
+struct Scalar;
+struct Distribution;
+
+struct CoreStats
+{
+    explicit CoreStats(StatGroup &g);
+
+    Scalar hits;
+    Scalar uopsDone;
+    Distribution latency;
+};
+
+#endif

@@ -1,0 +1,7 @@
+#include "pos_unregistered.hh"
+
+// The constructor exists but forgets to wire up `hits`.
+CacheStats::CacheStats(StatGroup &g)
+{
+    (void)g;
+}

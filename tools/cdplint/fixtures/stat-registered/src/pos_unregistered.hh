@@ -1,0 +1,17 @@
+// Fixture: a stat member never constructed against a StatGroup is
+// invisible in every dump.
+
+#ifndef FIXTURE_POS_UNREGISTERED_HH
+#define FIXTURE_POS_UNREGISTERED_HH
+
+struct StatGroup;
+struct Scalar;
+
+struct CacheStats
+{
+    explicit CacheStats(StatGroup &g);
+
+    Scalar hits; // FINDING stat-registered (never constructed)
+};
+
+#endif

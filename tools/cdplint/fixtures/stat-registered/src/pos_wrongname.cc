@@ -1,0 +1,6 @@
+#include "pos_wrongname.hh"
+
+BusStats::BusStats(StatGroup &g)
+    : misses(g, "bus.hits_total", "copy-paste slip: wrong stat name")
+{
+}

@@ -1,0 +1,17 @@
+// Fixture: a stat registered under a name that does not correspond
+// to the member mis-attributes its samples in every dump.
+
+#ifndef FIXTURE_POS_WRONGNAME_HH
+#define FIXTURE_POS_WRONGNAME_HH
+
+struct StatGroup;
+struct Scalar;
+
+struct BusStats
+{
+    explicit BusStats(StatGroup &g);
+
+    Scalar misses; // FINDING stat-registered (registered as hits_total)
+};
+
+#endif

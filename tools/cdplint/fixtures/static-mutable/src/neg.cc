@@ -1,0 +1,24 @@
+// Fixture: static const data, constexpr tables, static member
+// functions, and namespace-scope statics are all fine.
+
+namespace fixture
+{
+
+// Namespace-scope shared state (column 1) is the sanctioned pattern.
+static int g_sharedCount = 0;
+
+struct Helper
+{
+    static int twice(int v);
+    static constexpr int kWays = 4;
+};
+
+int
+lookup(int i)
+{
+    static const int table[4] = {1, 2, 4, 8};
+    static constexpr int scale = 2;
+    return table[i & 3] * scale + g_sharedCount;
+}
+
+} // namespace fixture

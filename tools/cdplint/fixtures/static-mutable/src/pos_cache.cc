@@ -1,0 +1,11 @@
+// Fixture: a function-local static object (no initializer tokens
+// marking it const) is a finding.
+
+#include <string>
+
+const std::string &
+cachedName()
+{
+    static std::string cache; // FINDING static-mutable
+    return cache;
+}

@@ -1,0 +1,8 @@
+// Fixture: function-local static mutable state is a finding.
+
+int
+nextId()
+{
+    static int counter = 0; // FINDING static-mutable
+    return ++counter;
+}

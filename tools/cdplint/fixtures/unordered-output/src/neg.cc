@@ -1,0 +1,24 @@
+// Fixture: order-insensitive folds over unordered containers are
+// fine, as is streaming from an ordered container.
+
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
+int
+total(const std::unordered_map<int, int> &weights)
+{
+    int sum = 0;
+    for (const auto &kv : weights) {
+        sum += kv.second;
+    }
+    return sum;
+}
+
+void
+printRows(const std::vector<int> &rows)
+{
+    for (int r : rows) {
+        std::cout << r << "\n";
+    }
+}

@@ -1,0 +1,15 @@
+// Fixture: iterating the result of a function that returns an
+// unordered container, with a dump-shaped call in the body.
+
+#include <unordered_set>
+
+const std::unordered_set<int> &liveEntries();
+void dumpEntry(int v);
+
+void
+dumpAll()
+{
+    for (int v : liveEntries()) { // FINDING unordered-output
+        dumpEntry(v);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: range-for over an unordered container whose body streams
+// into an ostream emits hash-order into output.
+
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+std::string
+dumpTable(const std::unordered_map<int, int> &table)
+{
+    std::ostringstream os;
+    for (const auto &kv : table) { // FINDING unordered-output
+        os << kv.first << "=" << kv.second << "\n";
+    }
+    return os.str();
+}

@@ -1,0 +1,287 @@
+"""C++ lexer for cdplint.
+
+Comments, string literals (including raw strings), character
+literals, and preprocessor directives are each handled exactly once
+here, so no rule ever needs to re-derive "is this token inside a
+comment?" with a per-rule regex. The output is:
+
+  - a list of Token objects (the *code* stream: identifiers, numbers,
+    punctuators, string/char literals, preprocessor directives), and
+  - a list of Comment objects (kept separately so the suppression
+    scanner can see them without the rules tripping over them).
+
+The lexer is deliberately not a full phase-3 translation: trigraphs,
+universal-character-names and digit separators in exotic positions
+are out of scope for a repo-local analyzer. It is, however, exact
+about nesting-free constructs: a `//` inside a string does not start
+a comment, a `"` inside a comment does not start a string, and a raw
+string R"x(...)x" swallows everything up to its matching delimiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+PP = "preproc"  # one token per directive, text == full directive
+
+
+@dataclass
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+    col: int   # 1-based
+
+    def __repr__(self) -> str:  # compact for test failures
+        return f"{self.kind}:{self.line}:{self.col}:{self.text!r}"
+
+
+@dataclass
+class Comment:
+    text: str  # without the // or /* */ fence
+    line: int  # line the comment starts on
+    block: bool
+
+
+# Longest-match punctuator table (order within a length bucket is
+# irrelevant; buckets are tried longest first).
+_PUNCTUATORS = [
+    "...", "<<=", ">>=", "->*", "<=>",
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "##", ".*",
+    "{", "}", "[", "]", "(", ")", ";", ":", ",", ".", "?",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=", "<",
+    ">", "#", "@", "\\",
+]
+_PUNCT_BY_LEN = sorted(_PUNCTUATORS, key=len, reverse=True)
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+
+class LexError(Exception):
+    pass
+
+
+def lex(text: str) -> Tuple[List[Token], List[Comment]]:
+    """Tokenize C++ source; returns (code_tokens, comments)."""
+    tokens: List[Token] = []
+    comments: List[Comment] = []
+    i = 0
+    n = len(text)
+    line = 1
+    col = 1
+    at_line_start = True  # only whitespace seen since the newline
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and text[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = text[i]
+
+        # --- whitespace -------------------------------------------------
+        if c in " \t\r\f\v":
+            advance(1)
+            continue
+        if c == "\n":
+            advance(1)
+            at_line_start = True
+            continue
+
+        start_line, start_col = line, col
+
+        # --- comments ---------------------------------------------------
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j < 0:
+                j = n
+            comments.append(Comment(text[i + 2:j], start_line, False))
+            advance(j - i)
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            if j < 0:
+                comments.append(Comment(text[i + 2:], start_line, True))
+                advance(n - i)
+                continue
+            comments.append(Comment(text[i + 2:j], start_line, True))
+            advance(j + 2 - i)
+            at_line_start = False
+            continue
+
+        # --- preprocessor directive ------------------------------------
+        if c == "#" and at_line_start:
+            # Swallow to end of line, honoring backslash continuations;
+            # strip // and /* */ comments that trail the directive.
+            j = i
+            while j < n:
+                k = text.find("\n", j)
+                if k < 0:
+                    j = n
+                    break
+                # Count trailing backslashes before the newline.
+                b = k - 1
+                while b >= j and text[b] in " \t\r":
+                    b -= 1
+                if b >= j and text[b] == "\\":
+                    j = k + 1
+                    continue
+                j = k
+                break
+            raw = text[i:j]
+            directive = _strip_directive_comments(raw)
+            tokens.append(Token(PP, directive.strip(), start_line,
+                                start_col))
+            # Re-lex comments inside the directive line so suppression
+            # comments on #include lines are still seen.
+            cpos = raw.find("//")
+            if cpos >= 0:
+                comments.append(Comment(raw[cpos + 2:], start_line,
+                                        False))
+            advance(j - i)
+            continue
+
+        at_line_start = False
+
+        # --- raw string literal ----------------------------------------
+        if c == "R" and i + 1 < n and text[i + 1] == '"':
+            j = i + 2
+            while j < n and text[j] not in "(\n":
+                j += 1
+            if j < n and text[j] == "(":
+                delim = text[i + 2:j]
+                closer = ")" + delim + '"'
+                k = text.find(closer, j + 1)
+                if k < 0:
+                    raise LexError(
+                        f"unterminated raw string at line {start_line}")
+                end = k + len(closer)
+                tokens.append(Token(STRING, text[i:end], start_line,
+                                    start_col))
+                advance(end - i)
+                continue
+            # "R" not followed by a raw-string open: plain identifier.
+
+        # --- string / char literal (with optional prefixes) ------------
+        if c in "\"'" or (c in "uUL" and _literal_prefix(text, i)):
+            j = i
+            while j < n and text[j] not in "\"'":
+                j += 1
+            quote = text[j]
+            k = j + 1
+            while k < n:
+                if text[k] == "\\":
+                    k += 2
+                    continue
+                if text[k] == quote:
+                    break
+                if text[k] == "\n":
+                    break  # unterminated; recover at newline
+                k += 1
+            end = min(k + 1, n)
+            kind = STRING if quote == '"' else CHAR
+            tokens.append(Token(kind, text[i:end], start_line,
+                                start_col))
+            advance(end - i)
+            continue
+
+        # --- identifier / keyword --------------------------------------
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tokens.append(Token(IDENT, text[i:j], start_line,
+                                start_col))
+            advance(j - i)
+            continue
+
+        # --- number (incl. 0x..., 1.5e-3, ' separators, suffixes) ------
+        if c in _DIGITS or (c == "." and i + 1 < n and
+                            text[i + 1] in _DIGITS):
+            j = i + 1
+            while j < n:
+                ch = text[j]
+                if ch in _IDENT_CONT or ch in "'.":
+                    j += 1
+                    continue
+                # Exponent signs: 1e-3, 0x1p+4.
+                if ch in "+-" and text[j - 1] in "eEpP":
+                    j += 1
+                    continue
+                break
+            tokens.append(Token(NUMBER, text[i:j], start_line,
+                                start_col))
+            advance(j - i)
+            continue
+
+        # --- punctuator -------------------------------------------------
+        for p in _PUNCT_BY_LEN:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, start_line, start_col))
+                advance(len(p))
+                break
+        else:
+            # Unknown byte: emit as a 1-char punct so positions stay
+            # aligned rather than aborting the whole file.
+            tokens.append(Token(PUNCT, c, start_line, start_col))
+            advance(1)
+
+    return tokens, comments
+
+
+def _literal_prefix(text: str, i: int) -> bool:
+    """True when text[i:] starts a prefixed string/char literal
+    (u8"...", L'x', etc.)."""
+    for pfx in ("u8", "u", "U", "L"):
+        if text.startswith(pfx, i):
+            j = i + len(pfx)
+            if j < len(text) and text[j] in "\"'":
+                return True
+            if (text.startswith(pfx + "R\"", i)):
+                return True
+    return False
+
+
+def _strip_directive_comments(raw: str) -> str:
+    """Remove // and /* */ comments from a directive's text."""
+    out = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        if raw.startswith("//", i):
+            j = raw.find("\n", i)
+            if j < 0:
+                break
+            i = j
+            continue
+        if raw.startswith("/*", i):
+            j = raw.find("*/", i + 2)
+            i = n if j < 0 else j + 2
+            continue
+        if raw[i] == '"':
+            j = i + 1
+            while j < n and raw[j] != '"':
+                j += 2 if raw[j] == "\\" else 1
+            out.append(raw[i:j + 1])
+            i = j + 1
+            continue
+        out.append(raw[i])
+        i += 1
+    return "".join(out)

@@ -1,0 +1,61 @@
+"""cycle-arith: Cycle differences go through the checked helpers.
+
+Declaration-aware port of the old rule: instead of a hardcoded
+identifier list, any identifier declared `Cycle x` anywhere in the
+lint run (and any function declared `Cycle f(...)`) is treated as a
+Cycle-typed operand.
+"""
+
+from __future__ import annotations
+
+from cpputil import operand_left, operand_right
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, NUMBER, PUNCT
+
+
+@rule
+class CycleArith:
+    id = "cycle-arith"
+    severity = SEV_ERROR
+    doc = """Direct subtraction between Cycle-typed expressions must
+    go through the checked helpers cyclesSince()/cyclesUntil() in
+    common/types.hh. Cycle is unsigned; a reversed subtraction yields
+    a silent ~2^64 latency instead of an error. Identifiers are
+    classified Cycle-typed from their declarations across the whole
+    lint run."""
+
+    _HELPERS = {"cyclesSince", "cyclesUntil"}
+
+    def check(self, ctx):
+        toks = ctx.tokens
+        idx = ctx.index
+        for i, t in enumerate(toks):
+            if t.kind != PUNCT or t.text != "-":
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            if prev is None or not (
+                    prev.kind in (IDENT, NUMBER) or
+                    (prev.kind == PUNCT and prev.text in (")", "]"))):
+                continue  # unary minus
+            lname, lcall = operand_left(toks, i)
+            rname, rcall = operand_right(toks, i + 1)
+            if lname is None or rname is None:
+                continue
+            if not idx.is_cycle_operand(lname, lcall):
+                continue
+            if not idx.is_cycle_operand(rname, rcall):
+                continue
+            # A subtraction on a line that already routes through the
+            # helpers is the helper call itself (or its argument
+            # plumbing) — same exemption the old rule gave.
+            line_idents = {tok.text
+                           for tok in ctx.tokens_by_line.get(t.line, [])
+                           if tok.kind == IDENT}
+            if line_idents & self._HELPERS:
+                continue
+            lhs = f"{lname}()" if lcall else lname
+            rhs = f"{rname}()" if rcall else rname
+            yield Finding(
+                self.id, ctx.path, t.line, t.col,
+                f"raw Cycle subtraction '{lhs} - {rhs}'; use "
+                "cyclesSince()/cyclesUntil() from common/types.hh")

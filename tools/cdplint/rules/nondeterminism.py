@@ -1,0 +1,122 @@
+"""nondeterminism: sources of run-to-run variance are banned from
+simulated code.
+
+The -j1 == -jN golden contract (DESIGN.md section 8) only holds when
+nothing under src/ or bench/ reads ambient entropy: hardware RNGs,
+wall clocks, the environment, or address-space layout (pointer
+values formatted into output change with ASLR).
+
+Host-side orchestration — the runner's telemetry and the CLI tools —
+legitimately reads wall clocks and environment knobs, so paths under
+src/runner/ and tools/ are exempt from the clock and getenv checks
+(never from std::random_device).
+"""
+
+from __future__ import annotations
+
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT, STRING
+
+
+_WALL_CLOCK = {"system_clock", "steady_clock", "high_resolution_clock",
+               "gettimeofday", "clock_gettime", "timespec_get",
+               "localtime", "gmtime", "strftime", "mktime"}
+_GETENV = {"getenv", "secure_getenv"}
+
+
+def _exempt(path: str) -> bool:
+    p = path.replace("\\", "/")
+    return ("/runner/" in p or p.startswith("tools/") or
+            "/tools/" in p)
+
+
+@rule
+class Nondeterminism:
+    id = "nondeterminism"
+    severity = SEV_ERROR
+    doc = """No nondeterminism sources in simulated code:
+    std::random_device (anywhere), wall-clock reads and getenv
+    (outside src/runner/ and tools/), and pointer values formatted
+    into output ('%p', streaming a void* cast or an address-of) —
+    ASLR makes those differ run to run, which breaks the byte-
+    identical golden contract."""
+
+    def check(self, ctx):
+        toks = ctx.tokens
+        n = len(toks)
+        exempt = _exempt(ctx.path)
+        for i, t in enumerate(toks):
+            if t.kind == IDENT:
+                if t.text == "random_device":
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        "std::random_device is a hardware entropy "
+                        "source; seed a cdp::Rng from the config "
+                        "instead")
+                    continue
+                if t.text in _WALL_CLOCK and not exempt:
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        f"wall-clock source '{t.text}' in simulated "
+                        "code; simulation time is Cycle — wall time "
+                        "belongs in src/runner telemetry only")
+                    continue
+                if t.text in _GETENV and not exempt:
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        f"'{t.text}' outside src/runner//tools makes "
+                        "simulated behavior depend on the "
+                        "environment; plumb it through SimConfig")
+                    continue
+                if t.text == "time" and i >= 2 and \
+                        toks[i - 1].text == "::" and \
+                        toks[i - 2].text == "std" and \
+                        i + 1 < n and toks[i + 1].text == "(" and \
+                        not exempt:
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        "std::time() in simulated code; wall time "
+                        "belongs in src/runner telemetry only")
+                    continue
+            elif t.kind == STRING:
+                if "%p" in t.text:
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        "'%p' formats a pointer value into output; "
+                        "ASLR makes it differ run to run — print a "
+                        "stable id or offset instead")
+            elif t.kind == PUNCT and t.text == "<<":
+                nxt = toks[i + 1] if i + 1 < n else None
+                if nxt is None:
+                    continue
+                # `<< static_cast<void *>(p)` / `<< (void *)p`
+                if nxt.kind == IDENT and nxt.text == "static_cast":
+                    j = i + 2
+                    depth = 0
+                    seen_void = False
+                    while j < n:
+                        txt = toks[j].text
+                        if txt == "<":
+                            depth += 1
+                        elif txt in (">", ">>"):
+                            depth -= 1 if txt == ">" else 2
+                            if depth <= 0:
+                                break
+                        elif toks[j].kind == IDENT and txt == "void":
+                            seen_void = True
+                        j += 1
+                    if seen_void:
+                        yield Finding(
+                            self.id, ctx.path, t.line, t.col,
+                            "pointer value streamed into output "
+                            "(void* cast); ASLR makes it differ run "
+                            "to run")
+                    continue
+                # `<< &obj` — streaming an object's address.
+                if nxt.kind == PUNCT and nxt.text == "&" and \
+                        i + 2 < n and toks[i + 2].kind == IDENT:
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        "address-of streamed into output; pointer "
+                        "values vary with ASLR — print a stable id "
+                        "instead")

@@ -1,0 +1,46 @@
+"""raw-new-delete: ownership goes through containers and smart
+pointers; only the backing store touches raw storage."""
+
+from __future__ import annotations
+
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT
+
+
+@rule
+class RawNewDelete:
+    id = "raw-new-delete"
+    severity = SEV_ERROR
+    doc = """No raw `new` / `delete` outside src/mem/backing_store.*.
+    Ownership elsewhere goes through standard containers and
+    std::make_unique; a raw allocation leaks simulated state between
+    runs the moment an exception path skips the delete."""
+
+    def check(self, ctx):
+        if ctx.path.rsplit("/", 1)[-1].startswith("backing_store"):
+            return
+        toks = ctx.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != IDENT:
+                continue
+            prev = toks[i - 1] if i > 0 else None
+            nxt = toks[i + 1] if i + 1 < n else None
+            if t.text == "new":
+                # `new (addr) T` placement syntax was historically
+                # exempt (lint_sim.py); keep that port exact.
+                if nxt is not None and nxt.kind == PUNCT and \
+                        nxt.text == "(":
+                    continue
+                yield Finding(
+                    self.id, ctx.path, t.line, t.col,
+                    "raw 'new' outside backing_store; use containers "
+                    "or std::make_unique")
+            elif t.text == "delete":
+                # `= delete` declarations are not deallocations.
+                if prev is not None and prev.kind == PUNCT and \
+                        prev.text == "=":
+                    continue
+                yield Finding(
+                    self.id, ctx.path, t.line, t.col,
+                    "raw 'delete' outside backing_store")

@@ -1,0 +1,80 @@
+"""static-mutable: no hidden per-process mutable state — sims fan
+out across the src/runner worker threads."""
+
+from __future__ import annotations
+
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT
+
+
+@rule
+class StaticMutable:
+    id = "static-mutable"
+    severity = SEV_ERROR
+    doc = """No function-local (or otherwise scope-indented) `static`
+    mutable state. Simulations run concurrently on the src/runner
+    thread pool, so hidden per-process state breaks thread-safety and
+    the -j1 == -jN determinism contract. `static const`/`constexpr`
+    data and static member functions are fine; deliberate shared
+    state must be an explicit namespace-scope object with documented
+    locking."""
+
+    def check(self, ctx):
+        toks = ctx.tokens
+        n = len(toks)
+        for i, t in enumerate(toks):
+            if t.kind != IDENT or t.text != "static":
+                continue
+            # Namespace-scope statics (column 1) are the sanctioned
+            # explicit form; indentation marks function/class scope.
+            if t.col == 1:
+                continue
+            has_const = False
+            paren_pos = None
+            init_pos = None
+            depth = 0
+            j = i + 1
+            while j < n:
+                tok = toks[j]
+                txt = tok.text
+                if tok.kind == PUNCT:
+                    if txt == "(":
+                        if depth == 0 and paren_pos is None:
+                            paren_pos = j
+                        depth += 1
+                    elif txt == ")":
+                        depth -= 1
+                    elif txt == "<":
+                        depth += 1
+                    elif txt in (">", ">>"):
+                        depth -= 1 if txt == ">" else 2
+                        depth = max(depth, 0)
+                    elif depth == 0 and txt == "=":
+                        if init_pos is None:
+                            init_pos = j
+                    elif depth == 0 and txt == "{":
+                        if init_pos is None:
+                            init_pos = j
+                        break
+                    elif depth == 0 and txt == ";":
+                        break
+                elif tok.kind == IDENT and depth == 0 and \
+                        init_pos is None and \
+                        txt in ("const", "constexpr", "consteval"):
+                    has_const = True
+                j += 1
+            if has_const:
+                continue  # immutable state is safe to share
+            # A parameter list opening before any initializer means a
+            # static member *function*, not state. (Paren-initialized
+            # static variables slip through; brace- or =-initialize
+            # statics so the analyzer can see them.)
+            if paren_pos is not None and (init_pos is None or
+                                          paren_pos < init_pos):
+                continue
+            yield Finding(
+                self.id, ctx.path, t.line, t.col,
+                "function-local static mutable state; sims run "
+                "concurrently (src/runner) — hoist to an explicit "
+                "synchronized namespace-scope object or make it "
+                "const")

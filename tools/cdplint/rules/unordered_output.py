@@ -1,0 +1,86 @@
+"""unordered-output: hash-order iteration may not feed output.
+
+The exact class of bug that breaks the -j1 == -jN golden contract:
+libstdc++ hash-table iteration order depends on insertion history
+and rehash points, so a range-for over an unordered_map/_set whose
+body writes to a stream, builds a report row, records trace events,
+or calls anything dump/print-shaped produces byte-different output
+between runs that are semantically identical.
+
+Detection: range-based for statements whose iterable expression
+mentions an identifier declared (anywhere in the lint run) as an
+unordered container — or a function returning one — and whose loop
+body contains an output operation:
+
+  - a `<<` whose chain includes a string literal or a stream-named
+    identifier (os/out/oss/ss/cout/cerr/stream), or
+  - a call to an identifier matching dump|print|emit|write|record|
+    report|sink|serialize|format|json|sarif|log.
+
+Count-only folds over unordered containers (sums, membership
+checks) are order-insensitive and not flagged. Iterator-based loops
+(`it = m.begin()`) are outside this rule's reach — prefer range-for.
+"""
+
+from __future__ import annotations
+
+import re
+
+from cpputil import find_range_fors, idents_in
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT, STRING
+
+
+_OUTPUT_CALL = re.compile(
+    r"(dump|print|emit|write|record|report|sink|serializ|format|"
+    r"json|sarif|log)", re.IGNORECASE)
+_STREAM_NAMES = {"os", "out", "oss", "ss", "cout", "cerr", "clog",
+                 "stream", "ostr"}
+
+
+@rule
+class UnorderedOutput:
+    id = "unordered-output"
+    severity = SEV_ERROR
+    doc = """Iterating an unordered_map/unordered_set in code that
+    feeds a stats dump, trace sink, or report emits hash-order —
+    which varies with insertion history — into byte-compared output.
+    Iterate a sorted snapshot (sort the keys first) before any
+    ordering-sensitive use."""
+
+    def check(self, ctx):
+        toks = ctx.tokens
+        idx = ctx.index
+        for fi, it_lo, it_hi, b_lo, b_hi in find_range_fors(toks):
+            iter_idents = idents_in(toks, it_lo, it_hi)
+            unordered = [nm for nm in iter_idents
+                         if idx.is_unordered_expr_ident(nm)]
+            if not unordered:
+                continue
+            sink = self._output_op(toks, b_lo, b_hi)
+            if sink is None:
+                continue
+            ft = toks[fi]
+            yield Finding(
+                self.id, ctx.path, ft.line, ft.col,
+                f"hash-order iteration over unordered container "
+                f"'{unordered[0]}' feeds output ({sink}); iterate a "
+                "sorted snapshot so dumps stay byte-deterministic")
+
+    def _output_op(self, toks, lo, hi):
+        n = len(toks)
+        for j in range(lo, min(hi + 1, n)):
+            t = toks[j]
+            if t.kind == IDENT and _OUTPUT_CALL.search(t.text) and \
+                    j + 1 < n and toks[j + 1].kind == PUNCT and \
+                    toks[j + 1].text == "(":
+                return f"call to '{t.text}'"
+            if t.kind == PUNCT and t.text == "<<":
+                prev = toks[j - 1] if j > 0 else None
+                nxt = toks[j + 1] if j + 1 < n else None
+                if prev is not None and prev.kind == IDENT and \
+                        prev.text in _STREAM_NAMES:
+                    return f"'{prev.text} <<' stream write"
+                if nxt is not None and nxt.kind == STRING:
+                    return "string streamed with '<<'"
+        return None

@@ -1,253 +1,25 @@
 #!/usr/bin/env python3
-"""Repo-specific lint for the CDP simulator.
+"""Deprecated shim: lint_sim.py was replaced by tools/cdplint.
 
-Rules (each can be waived per line with a trailing comment
-``// lint-ok: <rule>``):
-
-  stat-registered   Every Scalar/Distribution/Formula member declared
-                    in a header under src/ must be constructed against
-                    a StatGroup in the paired .cc (or inline in the
-                    header). A default-constructed stat silently drops
-                    every sample and never appears in the dump, so a
-                    "registered" stat that is not wired up is a bug.
-
-  raw-new-delete    No raw ``new`` / ``delete`` outside
-                    src/mem/backing_store.* — ownership elsewhere goes
-                    through standard containers and smart pointers.
-
-  cycle-arith       Direct subtraction between Cycle-typed timestamp
-                    expressions must go through the checked helpers
-                    ``cyclesSince`` / ``cyclesUntil`` in
-                    common/types.hh. Cycle is unsigned; a reversed
-                    subtraction yields a silent ~2^64 latency instead
-                    of an error.
-
-  static-mutable    No function-local (or otherwise scope-indented)
-                    ``static`` mutable state in src/ or bench/.
-                    Simulations fan out across worker threads (see
-                    src/runner), so hidden per-process state breaks
-                    both thread-safety and the "-j1 == -jN"
-                    determinism contract. ``static const`` /
-                    ``constexpr`` data and static member *functions*
-                    are fine; shared state must be an explicit
-                    namespace-scope object with documented locking.
-
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage
-errors.
+The rule set lives in tools/cdplint/rules/ (run
+``python3 tools/cdplint --list-rules`` for the catalog). This shim
+forwards so stale scripts and muscle memory keep working; update
+callers to ``python3 tools/cdplint <paths>``.
 """
 
-from __future__ import annotations
-
-import argparse
-import re
+import os
+import subprocess
 import sys
-from pathlib import Path
-
-STAT_TYPES = ("Scalar", "Distribution", "Formula")
-
-# Identifiers that (in this code base) always hold Cycle timestamps.
-# Subtraction between any two of these must use cyclesSince/Until.
-CYCLE_IDENTS = {
-    "now",
-    "when",
-    "then",
-    "comp",
-    "done",
-    "horizon",
-    "completion",
-    "fillCycle",
-    "enqueued",
-    "lastDrain",
-    "busyUntil",
-    "deadline",
-    "inflight_done",
-    "freeCycle()",
-}
-
-WAIVER = re.compile(r"//\s*lint-ok:\s*([\w-]+)")
 
 
-def strip_comments_and_strings(line: str) -> str:
-    """Best-effort removal of // comments and string/char literals."""
-    line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
-    line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
-    return re.sub(r"//.*", "", line)
-
-
-def iter_code_lines(path: Path):
-    """Yield (lineno, raw, code) with block comments blanked."""
-    in_block = False
-    for lineno, raw in enumerate(
-            path.read_text(errors="replace").splitlines(), start=1):
-        line = raw
-        if in_block:
-            end = line.find("*/")
-            if end < 0:
-                yield lineno, raw, ""
-                continue
-            line = " " * (end + 2) + line[end + 2:]
-            in_block = False
-        # Blank any /* ... */ sections (possibly several per line).
-        while True:
-            start = line.find("/*")
-            if start < 0:
-                break
-            end = line.find("*/", start + 2)
-            if end < 0:
-                line = line[:start]
-                in_block = True
-                break
-            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
-        yield lineno, raw, strip_comments_and_strings(line)
-
-
-class Linter:
-    def __init__(self) -> None:
-        self.findings: list[str] = []
-
-    def report(self, path: Path, lineno: int, rule: str,
-               message: str) -> None:
-        self.findings.append(f"{path}:{lineno}: [{rule}] {message}")
-
-    # -- stat-registered ---------------------------------------------
-
-    def check_stats_registered(self, header: Path) -> None:
-        decl_re = re.compile(
-            r"^\s*(?:" + "|".join(STAT_TYPES) + r")\s+(\w+)\s*;")
-        members: list[tuple[int, str]] = []
-        for lineno, raw, code in iter_code_lines(header):
-            m = decl_re.match(code)
-            if not m:
-                continue
-            if WAIVER.search(raw) and "stat-registered" in raw:
-                continue
-            members.append((lineno, m.group(1)))
-        if not members:
-            return
-
-        sources = [header.with_suffix(".cc"), header]
-        text = ""
-        for src in sources:
-            if src.exists():
-                text += src.read_text(errors="replace")
-        for lineno, name in members:
-            # Constructed with arguments somewhere (init list or body):
-            # `name(...)` with a non-empty argument list.
-            if re.search(r"\b" + re.escape(name) + r"\(\s*[^)\s]", text):
-                continue
-            self.report(
-                header, lineno, "stat-registered",
-                f"stat member '{name}' is never constructed against a "
-                f"StatGroup; it would be invisible in every stats dump")
-
-    # -- raw-new-delete ----------------------------------------------
-
-    def check_raw_new_delete(self, path: Path) -> None:
-        if path.name.startswith("backing_store"):
-            return
-        new_re = re.compile(r"\bnew\b(?!\s*\()")
-        delete_re = re.compile(r"\bdelete\b(?!\s*;)")
-        for lineno, raw, code in iter_code_lines(path):
-            if WAIVER.search(raw) and "raw-new-delete" in raw:
-                continue
-            # `= delete` declarations are not deallocations.
-            code_wo_deleted = re.sub(r"=\s*delete\b", "", code)
-            if new_re.search(code):
-                self.report(path, lineno, "raw-new-delete",
-                            "raw 'new' outside backing_store; use "
-                            "containers or std::make_unique")
-            if delete_re.search(code_wo_deleted):
-                self.report(path, lineno, "raw-new-delete",
-                            "raw 'delete' outside backing_store")
-
-    # -- cycle-arith -------------------------------------------------
-
-    def check_cycle_arith(self, path: Path) -> None:
-        idents = "|".join(re.escape(i) for i in sorted(CYCLE_IDENTS))
-        # <cycle-ident> - <cycle-ident>, allowing member prefixes like
-        # e->completion or line->fillCycle on either side.
-        sub_re = re.compile(
-            r"(?:[\w\]\)]+(?:->|\.))?\b(" + idents + r")\s-\s"
-            r"(?:[\w\]\)]+(?:->|\.))?\b(" + idents + r")\b")
-        for lineno, raw, code in iter_code_lines(path):
-            if WAIVER.search(raw) and "cycle-arith" in raw:
-                continue
-            if "cyclesSince" in code or "cyclesUntil" in code:
-                continue
-            m = sub_re.search(code)
-            if m:
-                self.report(
-                    path, lineno, "cycle-arith",
-                    f"raw Cycle subtraction '{m.group(0).strip()}'; "
-                    "use cyclesSince()/cyclesUntil() from "
-                    "common/types.hh")
-
-
-    # -- static-mutable ----------------------------------------------
-
-    def check_static_mutable(self, path: Path) -> None:
-        decl_re = re.compile(r"^\s+static\s+(.*)$")
-        for lineno, raw, code in iter_code_lines(path):
-            m = decl_re.match(code)
-            if not m:
-                continue
-            if WAIVER.search(raw) and "static-mutable" in raw:
-                continue
-            rest = m.group(1)
-            # Immutable state is safe to share between workers.
-            if re.search(r"\bconst\b|\bconstexpr\b|\bconsteval\b",
-                         rest):
-                continue
-            # A parameter list that opens before any initializer means
-            # this is a static member *function*, not state. (A
-            # paren-initialized static variable slips through this —
-            # brace- or =-initialize statics so the linter can see
-            # them.)
-            paren = rest.find("(")
-            init = re.search(r"[={]", rest)
-            if paren >= 0 and (init is None or paren < init.start()):
-                continue
-            self.report(
-                path, lineno, "static-mutable",
-                "function-local static mutable state; sims run "
-                "concurrently (src/runner) — hoist to an explicit "
-                "synchronized namespace-scope object or make it const")
-
-
-def main(argv: list[str]) -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("paths", nargs="*", default=["src"],
-                    help="files or directories to lint (default: src)")
-    args = ap.parse_args(argv)
-
-    files: list[Path] = []
-    for p in (Path(p) for p in (args.paths or ["src"])):
-        if p.is_dir():
-            files.extend(sorted(p.rglob("*.hh")))
-            files.extend(sorted(p.rglob("*.cc")))
-        elif p.exists():
-            files.append(p)
-        else:
-            print(f"lint_sim: no such path: {p}", file=sys.stderr)
-            return 2
-
-    linter = Linter()
-    for f in files:
-        if f.suffix == ".hh":
-            linter.check_stats_registered(f)
-        linter.check_raw_new_delete(f)
-        linter.check_cycle_arith(f)
-        linter.check_static_mutable(f)
-
-    for finding in linter.findings:
-        print(finding)
-    if linter.findings:
-        print(f"lint_sim: {len(linter.findings)} finding(s)",
-              file=sys.stderr)
-        return 1
-    print(f"lint_sim: {len(files)} files clean")
-    return 0
+def main() -> int:
+    sys.stderr.write(
+        "lint_sim.py is deprecated; forwarding to `python3 "
+        "tools/cdplint`. Update your invocation.\n")
+    here = os.path.dirname(os.path.abspath(__file__))
+    return subprocess.call(
+        [sys.executable, os.path.join(here, "cdplint")] + sys.argv[1:])
 
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main())

@@ -157,6 +157,78 @@ runPairs(const std::vector<SimConfig> &cfgs)
     return out;
 }
 
+namespace
+{
+
+std::string
+statsDump(Simulator &sim)
+{
+    std::ostringstream os;
+    sim.stats().dump(os);
+    return os.str();
+}
+
+} // namespace
+
+WarmForkSweep
+runWarmForkSweep(const SimConfig &base,
+                 const std::vector<CdpConfig> &sweep)
+{
+    WarmForkSweep out;
+    runner::SimRunner &r = simRunner();
+    std::vector<std::string> coldDumps(sweep.size());
+    std::vector<std::string> forkDumps(sweep.size());
+
+    // Cold control: every config pays its own warm-up, then switches
+    // to its swept cdp config at the quiesce point.
+    const double wall0 = r.stats().wallSeconds;
+    out.cold = r.map(sweep.size(), [&](std::size_t i) {
+        Simulator sim(base);
+        sim.warmup(base.warmupUops);
+        sim.quiesce();
+        sim.memory().reconfigureCdp(sweep[i]);
+        const RunResult res = sim.measure(base.measureUops);
+        coldDumps[i] = statsDump(sim);
+        return res;
+    });
+    const double wall1 = r.stats().wallSeconds;
+
+    // Fork leg: warm once (charged to this leg's wall-clock), then
+    // restore every config from the shared in-memory checkpoint.
+    std::string checkpoint;
+    r.map(1, [&](std::size_t) {
+        Simulator warm(base);
+        warm.warmup(base.warmupUops);
+        warm.quiesce();
+        std::ostringstream os;
+        warm.saveCheckpoint(os);
+        checkpoint = os.str();
+        return 0;
+    });
+    out.forked = r.map(sweep.size(), [&](std::size_t i) {
+        SimConfig cfg = base;
+        cfg.cdp = sweep[i];
+        Simulator sim(cfg);
+        std::istringstream is(checkpoint);
+        sim.restoreCheckpoint(is);
+        const RunResult res = sim.measure(base.measureUops);
+        forkDumps[i] = statsDump(sim);
+        return res;
+    });
+    const double wall2 = r.stats().wallSeconds;
+
+    out.coldSeconds = wall1 - wall0;
+    out.forkSeconds = wall2 - wall1;
+    out.identical = true;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        if (out.cold[i].cycles != out.forked[i].cycles ||
+            out.cold[i].uops != out.forked[i].uops ||
+            coldDumps[i] != forkDumps[i])
+            out.identical = false;
+    }
+    return out;
+}
+
 double
 mean(const std::vector<double> &v)
 {

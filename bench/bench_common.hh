@@ -95,6 +95,39 @@ PairResult runPair(cdp::SimConfig cfg);
  */
 std::vector<PairResult> runPairs(const std::vector<cdp::SimConfig> &cfgs);
 
+/**
+ * One warm-fork sweep (DESIGN.md §11) and its cold-equivalent
+ * control: the cold leg warms a fresh machine per config and switches
+ * the cdp configuration at the quiesce point; the fork leg warms
+ * once, checkpoints, and restores every config from the shared
+ * checkpoint. The two legs are defined to be byte-identical —
+ * `identical` is the equivalence gate, the wall-clock pair is the
+ * payoff (N warm-ups collapsed into one).
+ */
+struct WarmForkSweep
+{
+    std::vector<cdp::RunResult> cold;   //!< straight leg, per config
+    std::vector<cdp::RunResult> forked; //!< restored leg, per config
+    bool identical = false; //!< cycles + stats dumps byte-equal
+    double coldSeconds = 0.0; //!< runner wall-clock of the cold leg
+    double forkSeconds = 0.0; //!< warm-up + checkpoint + all forks
+
+    double
+    speedup() const
+    {
+        return forkSeconds > 0.0 ? coldSeconds / forkSeconds : 0.0;
+    }
+};
+
+/**
+ * Run @p sweep (one cdp.* config per entry) over @p base both cold
+ * and warm-forked on the shared runner. Wall-clock comes from the
+ * runner's own telemetry, so the simulated results stay free of
+ * scheduling-dependent state.
+ */
+WarmForkSweep runWarmForkSweep(const cdp::SimConfig &base,
+                               const std::vector<cdp::CdpConfig> &sweep);
+
 /** Arithmetic mean. */
 double mean(const std::vector<double> &v);
 

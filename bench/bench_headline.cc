@@ -98,6 +98,37 @@ main(int argc, char **argv)
     report.row("average")
         .add("speedup_stateless", mean(sp_nr))
         .add("speedup_reinforced", mean(sp_rf));
+
+    // Warm-fork sweep (DESIGN.md §11): one warm checkpoint of the
+    // object-graph workload forked across a chain-depth sweep. The
+    // equivalence gate requires the forks byte-identical to
+    // cold-equivalent runs; the wall-clock pair (scheduling-dependent,
+    // so stderr/"wall_" fields only) shows the warm-ups saved.
+    SimConfig wf = base;
+    wf.workload = "specjbb-vsnet";
+    std::vector<CdpConfig> sweep;
+    for (unsigned d : {1u, 2u, 3u, 5u}) {
+        CdpConfig cd = base.cdp;
+        cd.reinforce = true;
+        cd.depthThreshold = d;
+        sweep.push_back(cd);
+    }
+    const WarmForkSweep wfr = runWarmForkSweep(wf, sweep);
+    std::printf("\nwarm-fork sweep (%s, depth {1,2,3,5}): %s\n",
+                wf.workload.c_str(),
+                wfr.identical ? "byte-identical to cold runs"
+                              : "MISMATCH vs cold runs");
+    std::fprintf(stderr,
+                 "warm-fork: cold %.2fs, forked %.2fs (%.2fx)\n",
+                 wfr.coldSeconds, wfr.forkSeconds, wfr.speedup());
+    report.row("warm_fork")
+        .add("workload", wf.workload)
+        .add("configs", static_cast<std::uint64_t>(sweep.size()))
+        .add("identical", wfr.identical ? 1 : 0)
+        .add("wall_cold_seconds", wfr.coldSeconds)
+        .add("wall_fork_seconds", wfr.forkSeconds)
+        .add("wall_speedup", wfr.speedup());
+
     report.write(simRunner());
-    return 0;
+    return wfr.identical ? 0 : 1;
 }

@@ -73,6 +73,28 @@ class Rng
     /** Bernoulli trial with probability p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Export the raw state words (checkpointing). */
+    void
+    getState(std::uint64_t &out_s0, std::uint64_t &out_s1) const
+    {
+        out_s0 = s0;
+        out_s1 = s1;
+    }
+
+    /**
+     * Restore a state captured with getState(). The all-zero state is
+     * a fixed point of xorshift128+, so it is nudged exactly as the
+     * constructor does.
+     */
+    void
+    setState(std::uint64_t new_s0, std::uint64_t new_s1)
+    {
+        s0 = new_s0;
+        s1 = new_s1;
+        if (s0 == 0 && s1 == 0)
+            s1 = 1;
+    }
+
   private:
     std::uint64_t s0;
     std::uint64_t s1;

@@ -1,5 +1,7 @@
 #include "core/adaptive_vam.hh"
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -60,6 +62,22 @@ AdaptiveVamController::evaluate(CdpConfig &target)
     }
 
     return false; // inside the hysteresis band
+}
+
+void
+AdaptiveVamController::saveState(snap::Writer &w) const
+{
+    w.u64(issuedInEpoch);
+    w.u64(usefulInEpoch);
+    w.f64(lastAccuracy);
+}
+
+void
+AdaptiveVamController::loadState(snap::Reader &r)
+{
+    issuedInEpoch = r.u64();
+    usefulInEpoch = r.u64();
+    lastAccuracy = r.f64();
 }
 
 } // namespace cdp

@@ -35,6 +35,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Knobs of the adaptive controller. */
 struct AdaptiveVamConfig
 {
@@ -96,6 +102,10 @@ class AdaptiveVamController
     std::uint64_t epochsEvaluated() const { return epochs.value(); }
     std::uint64_t tightenCount() const { return tightens.value(); }
     std::uint64_t loosenCount() const { return loosens.value(); }
+
+    /** Serialize mid-epoch progress (checkpointing). */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     AdaptiveVamConfig cfg;

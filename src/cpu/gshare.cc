@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -43,6 +45,27 @@ Gshare::update(Addr pc, bool taken)
     if (!correct)
         ++mispredicts;
     return correct;
+}
+
+void
+Gshare::saveState(snap::Writer &w) const
+{
+    w.u64(pht.size());
+    w.u32(history);
+    w.bytes(pht.data(), pht.size());
+}
+
+void
+Gshare::loadState(snap::Reader &r)
+{
+    r.expectU64(pht.size(), "branch-predictor PHT entries");
+    history = r.u32();
+    r.bytes(pht.data(), pht.size());
+    for (const std::uint8_t ctr : pht) {
+        if (ctr > 3)
+            r.fail("branch-predictor counter " + std::to_string(ctr) +
+                   " exceeds the 2-bit range");
+    }
 }
 
 } // namespace cdp

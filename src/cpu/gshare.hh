@@ -17,6 +17,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Global-history-xor-PC predictor with 2-bit saturating counters.
  */
@@ -41,6 +47,10 @@ class Gshare
 
     std::uint64_t lookupCount() const { return lookups.value(); }
     std::uint64_t mispredictCount() const { return mispredicts.value(); }
+
+    /** Serialize PHT + global history (checkpointing). */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     unsigned index(Addr pc) const

@@ -2,9 +2,78 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
+
+#include "snapshot/ckpt_io.hh"
 
 namespace cdp
 {
+
+namespace snap
+{
+
+void
+saveUop(Writer &w, const Uop &u)
+{
+    w.u8(static_cast<std::uint8_t>(u.type));
+    w.u32(u.pc);
+    w.u32(u.vaddr);
+    w.u8(static_cast<std::uint8_t>(u.src0));
+    w.u8(static_cast<std::uint8_t>(u.src1));
+    w.u8(static_cast<std::uint8_t>(u.dst));
+    w.boolean(u.taken);
+    w.boolean(u.pointerLoad);
+}
+
+namespace
+{
+
+std::int8_t
+loadRegId(Reader &r)
+{
+    const std::uint8_t raw = r.u8();
+    const auto reg = static_cast<std::int8_t>(raw);
+    if (reg != noReg && (reg < 0 || reg >= static_cast<int>(numRegs)))
+        r.fail("uop register id " + std::to_string(raw) +
+               " outside the architectural file");
+    return reg;
+}
+
+} // namespace
+
+Uop
+loadUop(Reader &r)
+{
+    Uop u;
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(UopType::Nop))
+        r.fail("unknown uop type " + std::to_string(type));
+    u.type = static_cast<UopType>(type);
+    u.pc = r.u32();
+    u.vaddr = r.u32();
+    u.src0 = loadRegId(r);
+    u.src1 = loadRegId(r);
+    u.dst = loadRegId(r);
+    u.taken = r.boolean();
+    u.pointerLoad = r.boolean();
+    return u;
+}
+
+} // namespace snap
+
+void
+UopSource::saveState(snap::Writer &) const
+{
+    throw snap::SnapshotError(std::string("uop source '") + name() +
+                              "' does not support checkpointing");
+}
+
+void
+UopSource::loadState(snap::Reader &)
+{
+    throw snap::SnapshotError(std::string("uop source '") + name() +
+                              "' does not support checkpointing");
+}
 
 OooCore::OooCore(const CoreConfig &cfg, UopSource &source, CoreMemIf &mem,
                  StatGroup *stats, const std::string &name)
@@ -151,6 +220,55 @@ OooCore::run(std::uint64_t n)
     while (uopsRetired.value() < target)
         step();
     return cyclesSince(cycle, start);
+}
+
+void
+OooCore::saveState(snap::Writer &w) const
+{
+    w.u64(cycle);
+    w.u64(cycleBase);
+    w.u64(fetchStalledUntil);
+    w.boolean(havePending);
+    snap::saveUop(w, pending);
+    w.u64(rob.size());
+    for (const RobEntry &e : rob) {
+        w.u64(e.complete);
+        w.boolean(e.isLoad);
+        w.boolean(e.isStore);
+    }
+    for (const Cycle ready : regReady)
+        w.u64(ready);
+    bp.saveState(w);
+}
+
+void
+OooCore::loadState(snap::Reader &r)
+{
+    cycle = r.u64();
+    cycleBase = r.u64();
+    fetchStalledUntil = r.u64();
+    havePending = r.boolean();
+    pending = snap::loadUop(r);
+
+    const std::uint64_t occupancy = r.u64();
+    if (occupancy > cfg.robEntries)
+        r.fail("ROB occupancy " + std::to_string(occupancy) +
+               " exceeds capacity " + std::to_string(cfg.robEntries));
+    rob.clear();
+    loadsInRob = 0;
+    storesInRob = 0;
+    for (std::uint64_t i = 0; i < occupancy; ++i) {
+        RobEntry e;
+        e.complete = r.u64();
+        e.isLoad = r.boolean();
+        e.isStore = r.boolean();
+        loadsInRob += e.isLoad ? 1 : 0;
+        storesInRob += e.isStore ? 1 : 0;
+        rob.push_back(e);
+    }
+    for (Cycle &ready : regReady)
+        ready = r.u64();
+    bp.loadState(r);
 }
 
 } // namespace cdp

@@ -31,6 +31,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Interface the core uses to talk to the memory hierarchy.
  */
@@ -108,6 +114,15 @@ class OooCore
     void resetMeasurement() { cycleBase = cycle; }
 
     const Gshare &branchPredictor() const { return bp; }
+
+    /**
+     * Serialize the pipeline state: clock, ROB occupancy, register
+     * ready times, the stalled fetch, and the branch predictor. The
+     * uop source serializes itself elsewhere (it belongs to the
+     * workload, not the core).
+     */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     struct RobEntry

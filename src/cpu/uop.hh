@@ -21,6 +21,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Functional class of a uop. */
 enum class UopType : std::uint8_t
 {
@@ -57,6 +63,14 @@ struct Uop
     bool pointerLoad = false; //!< load of a recurrence pointer (stats)
 };
 
+namespace snap
+{
+/** Serialize one uop field-by-field (checkpointing). */
+void saveUop(Writer &w, const Uop &u);
+/** Read a uop written by saveUop. */
+Uop loadUop(Reader &r);
+} // namespace snap
+
 /**
  * Infinite stream of uops; workload generators implement this.
  */
@@ -70,6 +84,16 @@ class UopSource
 
     /** Short workload name for reports. */
     virtual const char *name() const = 0;
+
+    /**
+     * Serialize generator state for checkpointing. Sources that keep
+     * no replayable state (e.g. live trace capture) must override
+     * with an implementation that throws SnapshotError — the defaults
+     * here do exactly that so forgetting an override fails loudly
+     * instead of silently desynchronizing the stream.
+     */
+    virtual void saveState(snap::Writer &w) const;
+    virtual void loadState(snap::Reader &r);
 };
 
 } // namespace cdp

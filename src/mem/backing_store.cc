@@ -1,6 +1,10 @@
 #include "mem/backing_store.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "snapshot/ckpt_io.hh"
 
 namespace cdp
 {
@@ -82,6 +86,42 @@ BackingStore::write(Addr pa, const std::uint8_t *src, Addr len)
 {
     for (Addr i = 0; i < len; ++i)
         write8(pa + i, src[i]);
+}
+
+void
+BackingStore::saveState(snap::Writer &w) const
+{
+    // Key-sorted iteration: the map is hash-ordered, the checkpoint
+    // must be byte-deterministic.
+    std::vector<Addr> pages;
+    pages.reserve(frames.size());
+    for (const auto &kv : frames)
+        pages.push_back(kv.first);
+    std::sort(pages.begin(), pages.end());
+
+    w.u64(pages.size());
+    for (const Addr page : pages) {
+        w.u32(page);
+        w.bytes(frames.at(page)->data(), pageBytes);
+    }
+}
+
+void
+BackingStore::loadState(snap::Reader &r)
+{
+    const std::uint64_t n = r.u64();
+    frames.clear();
+    frames.reserve(n);
+    Addr prev = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr page = r.u32();
+        if (i > 0 && page <= prev)
+            r.fail("backing-store page numbers not strictly increasing");
+        prev = page;
+        auto frame = std::make_unique<Frame>();
+        r.bytes(frame->data(), pageBytes);
+        frames[page] = std::move(frame);
+    }
 }
 
 } // namespace cdp

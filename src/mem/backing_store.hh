@@ -23,6 +23,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Lazily allocated, frame-granular physical memory. Reads of frames
  * that were never written return zero bytes, mirroring a zero-filled
@@ -57,6 +63,12 @@ class BackingStore
 
     /** Number of frames that have been materialized. */
     std::size_t framesTouched() const { return frames.size(); }
+
+    /** Serialize every materialized frame in page-number order. */
+    void saveState(snap::Writer &w) const;
+
+    /** Replace all contents with the checkpointed frames. */
+    void loadState(snap::Reader &r);
 
   private:
     using Frame = std::array<std::uint8_t, pageBytes>;

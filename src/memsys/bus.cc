@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -23,6 +25,22 @@ Bus::service(Cycle now)
     ++transfers;
     cyclesBusy += occupancy;
     return start + latency;
+}
+
+void
+Bus::saveState(snap::Writer &w) const
+{
+    w.u64(latency);
+    w.u64(occupancy);
+    w.u64(busyUntil);
+}
+
+void
+Bus::loadState(snap::Reader &r)
+{
+    r.expectU64(latency, "bus latency");
+    r.expectU64(occupancy, "bus occupancy");
+    busyUntil = r.u64();
 }
 
 } // namespace cdp

@@ -27,6 +27,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Single-server bus/DRAM latency model.
  */
@@ -58,6 +64,10 @@ class Bus
 
     /** Total cycles the bus spent occupied (bandwidth accounting). */
     std::uint64_t busyCycles() const { return cyclesBusy.value(); }
+
+    /** Serialize the occupancy horizon (checkpointing). */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     Cycle latency;

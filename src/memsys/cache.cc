@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "check/check.hh"
+#include "snapshot/ckpt_io.hh"
 
 namespace cdp
 {
@@ -156,6 +157,52 @@ Cache::residentLines() const
     for (const auto &l : lines)
         n += l.valid ? 1 : 0;
     return n;
+}
+
+void
+Cache::saveState(snap::Writer &w) const
+{
+    w.u64(ways);
+    w.u64(sets);
+    w.u64(stamp);
+    for (const CacheLine &l : lines) {
+        w.u32(l.tag);
+        w.u64(l.lruStamp);
+        w.boolean(l.valid);
+        w.boolean(l.prefetched);
+        w.u8(static_cast<std::uint8_t>(l.fillType));
+        w.u8(l.storedDepth);
+        w.u8(l.fillDepth);
+        w.u64(l.provRoot);
+        w.u64(l.fillCycle);
+        w.boolean(l.everUsed);
+        w.boolean(l.strideOverlap);
+    }
+}
+
+void
+Cache::loadState(snap::Reader &r)
+{
+    r.expectU64(ways, "cache associativity");
+    r.expectU64(sets, "cache sets");
+    stamp = r.u64();
+    for (CacheLine &l : lines) {
+        l.tag = r.u32();
+        l.lruStamp = r.u64();
+        l.valid = r.boolean();
+        l.prefetched = r.boolean();
+        const std::uint8_t type = r.u8();
+        if (type > static_cast<std::uint8_t>(ReqType::ContentPrefetch))
+            r.fail("cache line fill type " + std::to_string(type) +
+                   " out of range");
+        l.fillType = static_cast<ReqType>(type);
+        l.storedDepth = r.u8();
+        l.fillDepth = r.u8();
+        l.provRoot = r.u64();
+        l.fillCycle = r.u64();
+        l.everUsed = r.boolean();
+        l.strideOverlap = r.boolean();
+    }
 }
 
 } // namespace cdp

@@ -30,6 +30,12 @@ namespace cdp
 
 namespace check { struct Access; }
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Metadata for one resident cache line. */
 struct CacheLine
 {
@@ -128,6 +134,12 @@ class Cache
     std::uint64_t hitCount() const { return hits.value(); }
     std::uint64_t missCount() const { return misses.value(); }
     std::uint64_t evictionCount() const { return evictions.value(); }
+
+    /** Serialize every line's metadata + the LRU clock. */
+    void saveState(snap::Writer &w) const;
+
+    /** Restore line metadata; geometry must match. */
+    void loadState(snap::Reader &r);
 
   private:
     friend struct check::Access;

@@ -1,6 +1,7 @@
 #include "memsys/queued_arbiter.hh"
 
 #include "check/check.hh"
+#include "snapshot/ckpt_io.hh"
 
 namespace cdp
 {
@@ -127,6 +128,40 @@ QueuedArbiter::extractPrefetch(Addr line_va)
         }
     }
     return std::nullopt;
+}
+
+void
+QueuedArbiter::saveState(snap::Writer &w) const
+{
+    if (total != 0)
+        throw snap::SnapshotError(
+            "cannot checkpoint an arbiter holding " +
+            std::to_string(total) +
+            " queued request(s) — checkpoint only at quiesce points");
+    // The conservation ledger spans the machine's whole lifetime (the
+    // auditArbiter invariant balances against it), so it must travel
+    // with the checkpoint even though the queues are empty.
+    w.u64(enqueuedCount);
+    w.u64(issuedCount);
+    w.u64(droppedCount);
+    w.u64(extractedCount);
+}
+
+void
+QueuedArbiter::loadState(snap::Reader &r)
+{
+    if (total != 0)
+        r.fail("restore target arbiter is not empty");
+    enqueuedCount = r.u64();
+    issuedCount = r.u64();
+    droppedCount = r.u64();
+    extractedCount = r.u64();
+    if (enqueuedCount != issuedCount + droppedCount + extractedCount)
+        r.fail("arbiter ledger does not balance: enqueued " +
+               std::to_string(enqueuedCount) + " != issued " +
+               std::to_string(issuedCount) + " + dropped " +
+               std::to_string(droppedCount) + " + extracted " +
+               std::to_string(extractedCount));
 }
 
 } // namespace cdp

@@ -32,6 +32,12 @@ namespace cdp
 
 namespace check { struct Access; }
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Outcome of an enqueue attempt. */
 enum class EnqueueResult
 {
@@ -85,6 +91,14 @@ class QueuedArbiter
     std::uint64_t displacedCount() const { return displaced.value(); }
     std::uint64_t rejectedCount() const { return rejected.value(); }
     std::uint64_t issuedCountStat() const { return issued.value(); }
+
+    /**
+     * Serialize the lifetime conservation ledger. Checkpoints are
+     * taken only at quiesce points, so the queues themselves must be
+     * empty — saving a non-empty arbiter throws snap::SnapshotError.
+     */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     friend struct check::Access;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -133,6 +135,93 @@ MarkovPrefetcher::population() const
     for (const auto &e : setTable)
         n += e.valid ? 1 : 0;
     return n;
+}
+
+namespace
+{
+
+void
+saveMarkovEntry(snap::Writer &w, Addr tag, std::uint64_t lru_stamp,
+                bool valid, const std::vector<Addr> &successors)
+{
+    w.u32(tag);
+    w.u64(lru_stamp);
+    w.boolean(valid);
+    w.u64(successors.size());
+    for (const Addr s : successors)
+        w.u32(s);
+}
+
+} // namespace
+
+void
+MarkovPrefetcher::saveState(snap::Writer &w) const
+{
+    w.u64(entryCapacity);
+    w.u64(ways);
+    w.u64(fanout);
+    w.u64(numSets);
+    w.u64(stamp);
+    w.u32(prevMissLine);
+    w.boolean(havePrev);
+
+    w.u64(setTable.size());
+    for (const Entry &e : setTable)
+        saveMarkovEntry(w, e.tag, e.lruStamp, e.valid, e.successors);
+
+    // The unbounded STAB travels key-sorted: the map is hash-ordered,
+    // the checkpoint must be byte-deterministic.
+    std::vector<Addr> keys;
+    keys.reserve(bigTable.size());
+    for (const auto &kv : bigTable)
+        keys.push_back(kv.first);
+    std::sort(keys.begin(), keys.end());
+    w.u64(keys.size());
+    for (const Addr key : keys) {
+        const Entry &e = bigTable.at(key);
+        w.u32(key);
+        saveMarkovEntry(w, e.tag, e.lruStamp, e.valid, e.successors);
+    }
+}
+
+void
+MarkovPrefetcher::loadState(snap::Reader &r)
+{
+    r.expectU64(entryCapacity, "Markov STAB capacity");
+    r.expectU64(ways, "Markov STAB ways");
+    r.expectU64(fanout, "Markov fan-out");
+    r.expectU64(numSets, "Markov STAB sets");
+    stamp = r.u64();
+    prevMissLine = r.u32();
+    havePrev = r.boolean();
+
+    const auto loadEntry = [&](Entry &e) {
+        e.tag = r.u32();
+        e.lruStamp = r.u64();
+        e.valid = r.boolean();
+        const std::uint64_t nsucc = r.u64();
+        if (nsucc > fanout)
+            r.fail("Markov entry has " + std::to_string(nsucc) +
+                   " successors, fan-out is " + std::to_string(fanout));
+        e.successors.clear();
+        for (std::uint64_t i = 0; i < nsucc; ++i)
+            e.successors.push_back(r.u32());
+    };
+
+    r.expectU64(setTable.size(), "Markov bounded-STAB slots");
+    for (Entry &e : setTable)
+        loadEntry(e);
+
+    const std::uint64_t nbig = r.u64();
+    bigTable.clear();
+    Addr prevKey = 0;
+    for (std::uint64_t i = 0; i < nbig; ++i) {
+        const Addr key = r.u32();
+        if (i > 0 && key <= prevKey)
+            r.fail("Markov unbounded-STAB keys not strictly increasing");
+        prevKey = key;
+        loadEntry(bigTable[key]);
+    }
 }
 
 } // namespace cdp

@@ -36,6 +36,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Bounded or unbounded 1-history Markov prefetcher.
  */
@@ -64,6 +70,15 @@ class MarkovPrefetcher : public Prefetcher
 
     /** Bytes modeled per STAB entry (tag + fanout successors). */
     static constexpr std::uint64_t bytesPerEntry = 20;
+
+    /**
+     * Serialize the STAB (the unbounded map travels key-sorted so
+     * checkpoints are byte-deterministic) and the 1-deep history.
+     */
+    void saveState(snap::Writer &w) const;
+
+    /** Restore; STAB geometry must match. */
+    void loadState(snap::Reader &r);
 
   private:
     struct Entry

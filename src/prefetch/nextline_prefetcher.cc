@@ -1,5 +1,7 @@
 #include "prefetch/nextline_prefetcher.hh"
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -53,6 +55,30 @@ NextLinePrefetcher::rememberIssued(Addr line_va)
             recentSet.erase(recentFifo.front());
             recentFifo.pop_front();
         }
+    }
+}
+
+void
+NextLinePrefetcher::saveState(snap::Writer &w) const
+{
+    w.u64(recentFifo.size());
+    for (const Addr a : recentFifo)
+        w.u32(a);
+}
+
+void
+NextLinePrefetcher::loadState(snap::Reader &r)
+{
+    const std::uint64_t n = r.u64();
+    if (n > recentCapacity)
+        r.fail("next-line recent-issue ring holds " + std::to_string(n) +
+               " entries, capacity is " + std::to_string(recentCapacity));
+    recentFifo.clear();
+    recentSet.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr a = r.u32();
+        recentFifo.push_back(a);
+        recentSet.insert(a);
     }
 }
 

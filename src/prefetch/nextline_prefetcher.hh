@@ -29,6 +29,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Miss-driven sequential (next-line) prefetcher.
  */
@@ -51,6 +57,10 @@ class NextLinePrefetcher : public Prefetcher
     bool recentlyIssued(Addr line_va) const;
 
     std::uint64_t issuedCount() const { return issued.value(); }
+
+    /** Serialize the recent-issue ring (the only mutable state). */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     void rememberIssued(Addr line_va);

@@ -1,5 +1,7 @@
 #include "prefetch/stride_prefetcher.hh"
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -82,6 +84,47 @@ StridePrefetcher::rememberIssued(Addr line_va)
             recentSet.erase(recentFifo.front());
             recentFifo.pop_front();
         }
+    }
+}
+
+void
+StridePrefetcher::saveState(snap::Writer &w) const
+{
+    w.u64(table.size());
+    for (const Entry &e : table) {
+        w.u32(e.pcTag);
+        w.u32(e.lastAddr);
+        w.u32(static_cast<std::uint32_t>(e.stride));
+        w.u64(e.confidence);
+        w.boolean(e.valid);
+    }
+    // The FIFO is the source of truth; the set is rebuilt on load.
+    w.u64(recentFifo.size());
+    for (const Addr a : recentFifo)
+        w.u32(a);
+}
+
+void
+StridePrefetcher::loadState(snap::Reader &r)
+{
+    r.expectU64(table.size(), "stride RPT entries");
+    for (Entry &e : table) {
+        e.pcTag = r.u32();
+        e.lastAddr = r.u32();
+        e.stride = static_cast<std::int32_t>(r.u32());
+        e.confidence = static_cast<unsigned>(r.u64());
+        e.valid = r.boolean();
+    }
+    const std::uint64_t n = r.u64();
+    if (n > recentCapacity)
+        r.fail("stride recent-issue ring holds " + std::to_string(n) +
+               " entries, capacity is " + std::to_string(recentCapacity));
+    recentFifo.clear();
+    recentSet.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const Addr a = r.u32();
+        recentFifo.push_back(a);
+        recentSet.insert(a);
     }
 }
 

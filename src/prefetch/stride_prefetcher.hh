@@ -28,6 +28,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * Reference-prediction-table stride prefetcher.
  */
@@ -56,6 +62,12 @@ class StridePrefetcher : public Prefetcher
     bool recentlyIssued(Addr line_va) const;
 
     std::uint64_t issuedCount() const { return issued.value(); }
+
+    /** Serialize RPT entries + the recent-issue ring. */
+    void saveState(snap::Writer &w) const;
+
+    /** Restore; table geometry must match. */
+    void loadState(snap::Reader &r);
 
   private:
     struct Entry

@@ -7,6 +7,7 @@
 #include "check/access.hh"
 #include "check/check.hh"
 #include "check/invariants.hh"
+#include "snapshot/ckpt_io.hh"
 
 namespace cdp
 {
@@ -132,6 +133,13 @@ MemorySystem::advance(Cycle now)
     if ((++checkTick & 0x3ff) == 0)
         checkInvariants();
 #endif
+}
+
+void
+MemorySystem::reconfigureCdp(const CdpConfig &new_cfg)
+{
+    cfg.cdp = new_cfg;
+    cdp.reconfigure(new_cfg);
 }
 
 void
@@ -800,5 +808,126 @@ MemorySystem::store(Addr pc, Addr vaddr, Cycle now)
     }
     return now + 1;
 }
+
+// Single field list so save, load, and any future diff stay in sync
+// (the arrays travel separately below).
+#define CDP_FOR_EACH_COUNTER(X)                                        \
+    X(demandLoads) X(l1Misses) X(l2DemandAccesses) X(l2DemandMisses)   \
+    X(maskFullStride) X(maskPartialStride) X(maskFullCdp)              \
+    X(maskPartialCdp) X(strideIssued) X(cdpIssued) X(cdpIssuedOverlap) \
+    X(cdpUsefulOverlap) X(strideUseful) X(cdpUseful) X(pfDropL2Hit)    \
+    X(pfDropInflight) X(pfDropQueued) X(pfDropBusFull)                 \
+    X(pfDropUnmapped) X(pfDropArbiter) X(demandWalks)                  \
+    X(prefetchWalks) X(promotions) X(rescans) X(reinforcePromotions)   \
+    X(pollutionInjected) X(prefetchEvictedUnused)
+
+void
+MemorySystem::saveState(snap::Writer &w) const
+{
+    if (mshrs.size() != 0)
+        throw snap::SnapshotError(
+            "cannot checkpoint with " + std::to_string(mshrs.size()) +
+            " in-flight MSHR fill(s) — checkpoint only at quiesce "
+            "points (drainAll first)");
+    if (!pendingFills.empty())
+        throw snap::SnapshotError(
+            "cannot checkpoint with " +
+            std::to_string(pendingFills.size()) +
+            " pending fill(s) — checkpoint only at quiesce points");
+    if (prefetchInFlight != 0)
+        throw snap::SnapshotError(
+            "cannot checkpoint with " +
+            std::to_string(prefetchInFlight) +
+            " prefetch(es) in flight — checkpoint only at quiesce "
+            "points");
+
+    dl1.saveState(w);
+    ul2.saveState(w);
+    dataTlb.saveState(w);
+    stride.saveState(w);
+    w.boolean(nextline != nullptr);
+    if (nextline)
+        nextline->saveState(w);
+    w.boolean(markov != nullptr);
+    if (markov)
+        markov->saveState(w);
+    // Base (construction-time) cdp config travels ahead of the live
+    // one: the restoring side uses it to decide whether the live
+    // config applies (same machine resumed) or its own sweep override
+    // wins (warm fork).
+    snap::saveCdpConfig(w, cfg.cdp);
+    cdp.saveState(w);
+    adaptive.saveState(w);
+    bus.saveState(w);
+    l2Arbiter.saveState(w); // throws unless empty
+    w.u64(lastDrain);
+    w.u64(drainPool);
+    w.u64(rescanDebt);
+    w.u64(nextReqId);
+    w.u64(checkTick);
+    w.rng(pollutionRng);
+
+#define CDP_SAVE_COUNTER(f) w.u64(ctr.f);
+    CDP_FOR_EACH_COUNTER(CDP_SAVE_COUNTER)
+#undef CDP_SAVE_COUNTER
+    for (unsigned d = 0; d < provDepthBuckets; ++d) {
+        w.u64(ctr.depthAccurate[d]);
+        w.u64(ctr.depthLate[d]);
+        w.u64(ctr.depthDropped[d]);
+        w.u64(ctr.depthPolluting[d]);
+    }
+}
+
+void
+MemorySystem::loadState(snap::Reader &r)
+{
+    if (mshrs.size() != 0 || !pendingFills.empty() ||
+        prefetchInFlight != 0)
+        r.fail("restore target is not quiesced");
+
+    dl1.loadState(r);
+    ul2.loadState(r);
+    dataTlb.loadState(r);
+    stride.loadState(r);
+    const bool hadNextline = r.boolean();
+    if (hadNextline != (nextline != nullptr))
+        r.fail("baseline-prefetcher mismatch: checkpoint " +
+               std::string(hadNextline ? "has" : "lacks") +
+               " a next-line prefetcher, this simulator " +
+               std::string(nextline ? "has" : "lacks") + " one");
+    if (nextline)
+        nextline->loadState(r);
+    const bool hadMarkov = r.boolean();
+    if (hadMarkov != (markov != nullptr))
+        r.fail("Markov-prefetcher mismatch: checkpoint " +
+               std::string(hadMarkov ? "has" : "lacks") +
+               " one, this simulator " +
+               std::string(markov ? "has" : "lacks") + " one");
+    if (markov)
+        markov->loadState(r);
+    const CdpConfig savedBase = snap::loadCdpConfig(r);
+    cdp.loadState(r, savedBase == cfg.cdp);
+    adaptive.loadState(r);
+    bus.loadState(r);
+    l2Arbiter.loadState(r);
+    lastDrain = r.u64();
+    drainPool = r.u64();
+    rescanDebt = static_cast<unsigned>(r.u64());
+    nextReqId = static_cast<ReqId>(r.u64());
+    checkTick = r.u64();
+    r.rng(pollutionRng);
+
+#define CDP_LOAD_COUNTER(f) ctr.f = r.u64();
+    CDP_FOR_EACH_COUNTER(CDP_LOAD_COUNTER)
+#undef CDP_LOAD_COUNTER
+    for (unsigned d = 0; d < provDepthBuckets; ++d) {
+        ctr.depthAccurate[d] = r.u64();
+        ctr.depthLate[d] = r.u64();
+        ctr.depthDropped[d] = r.u64();
+        ctr.depthPolluting[d] = r.u64();
+    }
+}
+
+#undef CDP_FOR_EACH_COUNTER
 
 } // namespace cdp

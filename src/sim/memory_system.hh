@@ -99,6 +99,17 @@ class MemorySystem : public CoreMemIf
     obs::Tracer &tracer() { return trc; }
     const obs::Tracer &tracer() const { return trc; }
     ContentPrefetcher &contentPf() { return cdp; }
+
+    /**
+     * Switch the content-prefetcher configuration live, updating both
+     * the prefetcher and this system's own copy (depth suppression,
+     * reinforcement, and scan gating read the latter). Meant for
+     * quiesce points only: restoring a warm checkpoint into a machine
+     * built with a different cdp.* config is defined to be equivalent
+     * to calling this on the checkpointing machine at its quiesce
+     * point (see DESIGN.md §11).
+     */
+    void reconfigureCdp(const CdpConfig &new_cfg);
     const AdaptiveVamController &adaptiveCtl() const { return adaptive; }
     StridePrefetcher &stridePf() { return stride; }
     MarkovPrefetcher *markovPf() { return markov.get(); }
@@ -164,6 +175,25 @@ class MemorySystem : public CoreMemIf
     /** Zero the counters (end of warm-up). */
     void resetCounters() { ctr = Counters{}; }
 
+    /**
+     * Serialize the entire hierarchy. Requires a quiesced machine —
+     * no in-flight fills, MSHR entries, or queued prefetches (call
+     * drainAll() first); throws snap::SnapshotError otherwise, so no
+     * in-flight transaction ever needs encoding. The tracer is a pure
+     * observer and is deliberately not checkpointed.
+     */
+    void saveState(snap::Writer &w) const;
+
+    /**
+     * Restore into a freshly constructed (still-empty) hierarchy. The
+     * checkpointed *base* content-prefetcher config is compared with
+     * this instance's: when equal, the checkpoint's live (possibly
+     * adaptive-tuned) config is applied; when the restoring simulator
+     * was built with deliberately different cdp knobs (a warm-fork
+     * sweep), its own configuration wins.
+     */
+    void loadState(snap::Reader &r);
+
   private:
     struct PendingFill
     {
@@ -222,7 +252,8 @@ class MemorySystem : public CoreMemIf
     /** Did the baseline prefetcher recently cover @p line_va? */
     bool baselineRecentlyIssued(Addr line_va) const;
 
-    const SimConfig cfg;
+    /** Mutable only through reconfigureCdp(); geometry never changes. */
+    SimConfig cfg;
     BackingStore &backing;
     PageTable &pageTable;
 

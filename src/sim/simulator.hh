@@ -9,6 +9,7 @@
 #ifndef CDP_SIM_SIMULATOR_HH
 #define CDP_SIM_SIMULATOR_HH
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 
@@ -84,6 +85,40 @@ class Simulator
     OooCore &core() { return *cpu; }
     HeapAllocator &heap() { return *heapAlloc; }
     UopSource &workload() { return *source; }
+
+    /**
+     * Drain every in-flight memory transaction, bringing the machine
+     * to a quiesce point — the only states checkpoints can capture
+     * (see DESIGN.md §11). Idempotent; deterministic, so the straight
+     * and the restored leg of a differential run stay byte-identical
+     * as long as both quiesce at the same uop count.
+     */
+    void quiesce();
+
+    /**
+     * Serialize the complete machine into @p os (versioned binary
+     * format, see src/snapshot/ckpt_io.hh). Requires a quiesced
+     * machine; throws snap::SnapshotError otherwise.
+     */
+    void saveCheckpoint(std::ostream &os) const;
+
+    /**
+     * Restore a checkpoint into this (freshly constructed) machine.
+     * The guarded subset of the configuration — workload, seed,
+     * machine geometry, baseline-prefetcher knobs — must match the
+     * checkpointing run exactly; the sweep-fork knobs (cdp.*,
+     * adaptive.*, trace.*, run lengths) may differ, enabling
+     * warm-once / fork-many sweeps. Throws snap::SnapshotError with a
+     * section-qualified diagnostic on any mismatch, corruption,
+     * truncation, or version skew.
+     */
+    void restoreCheckpoint(std::istream &is);
+
+    /** saveCheckpoint into @p path (binary); throws on I/O failure. */
+    void saveCheckpointFile(const std::string &path) const;
+
+    /** restoreCheckpoint from @p path; throws on I/O failure. */
+    void restoreCheckpointFile(const std::string &path);
 
   private:
     RunResult snapshotDelta(Cycle cycles, std::uint64_t uops,

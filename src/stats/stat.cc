@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <limits>
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -116,6 +118,103 @@ StatGroup::dump(std::ostream &os) const
     for (const auto *d : dists) {
         d->print(os);
         os << '\n';
+    }
+}
+
+void
+Distribution::saveState(snap::Writer &w) const
+{
+    w.u64(_buckets.size());
+    for (const std::uint64_t b : _buckets)
+        w.u64(b);
+    w.u64(_underflow);
+    w.u64(_overflow);
+    w.u64(_count);
+    w.f64(_sum);
+    w.f64(_min);
+    w.f64(_max);
+}
+
+void
+Distribution::loadState(snap::Reader &r)
+{
+    const std::uint64_t n = r.u64();
+    if (n != _buckets.size())
+        r.fail("distribution '" + _name + "' has " +
+               std::to_string(_buckets.size()) + " buckets, checkpoint has " +
+               std::to_string(n));
+    for (auto &b : _buckets)
+        b = r.u64();
+    _underflow = r.u64();
+    _overflow = r.u64();
+    _count = r.u64();
+    _sum = r.f64();
+    _min = r.f64();
+    _max = r.f64();
+}
+
+void
+StatGroup::saveValues(snap::Writer &w) const
+{
+    std::vector<const Scalar *> sorted(scalars.begin(), scalars.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Scalar *a, const Scalar *b) {
+                  return a->name() < b->name();
+              });
+    w.u64(sorted.size());
+    for (const auto *s : sorted) {
+        w.str(s->name());
+        w.u64(s->value());
+    }
+
+    std::vector<const Distribution *> dsorted(dists.begin(), dists.end());
+    std::sort(dsorted.begin(), dsorted.end(),
+              [](const Distribution *a, const Distribution *b) {
+                  return a->name() < b->name();
+              });
+    w.u64(dsorted.size());
+    for (const auto *d : dsorted) {
+        w.str(d->name());
+        d->saveState(w);
+    }
+}
+
+void
+StatGroup::loadValues(snap::Reader &r)
+{
+    const std::uint64_t nscalars = r.u64();
+    if (nscalars != scalars.size())
+        r.fail("checkpoint has " + std::to_string(nscalars) +
+               " scalar stats, this simulator registers " +
+               std::to_string(scalars.size()));
+    std::map<std::string, Scalar *> byName;
+    for (auto *s : scalars)
+        byName[s->name()] = s;
+    for (std::uint64_t i = 0; i < nscalars; ++i) {
+        const std::string name = r.str();
+        const std::uint64_t value = r.u64();
+        const auto it = byName.find(name);
+        if (it == byName.end())
+            r.fail("checkpoint stat '" + name +
+                   "' is unknown to this simulator");
+        it->second->set(value);
+    }
+
+    const std::uint64_t ndists = r.u64();
+    if (ndists != dists.size())
+        r.fail("checkpoint has " + std::to_string(ndists) +
+               " distributions, this simulator registers " +
+               std::to_string(dists.size()));
+    std::map<std::string, Distribution *> distByName;
+    for (auto *d : dists)
+        distByName[d->name()] = d;
+    for (std::uint64_t i = 0; i < ndists; ++i) {
+        const std::string name = r.str();
+        const auto it = distByName.find(name);
+        if (it == distByName.end())
+            r.fail("checkpoint distribution '" + name +
+                   "' is unknown to this simulator");
+        it->second->loadState(r);
     }
 }
 

@@ -26,6 +26,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 class StatGroup;
 
 /**
@@ -87,6 +93,12 @@ class Distribution
 
     /** Print "name mean=... [bucket counts]". */
     void print(std::ostream &os) const;
+
+    /** Serialize the mutable sample state (checkpointing). */
+    void saveState(snap::Writer &w) const;
+
+    /** Restore state saved by saveState; geometry must match. */
+    void loadState(snap::Reader &r);
 
   private:
     std::string _name;
@@ -160,6 +172,20 @@ class StatGroup
 
     /** Look up a formula by name; nullptr when absent. */
     const Formula *findFormula(const std::string &name) const;
+
+    /**
+     * Serialize every scalar and distribution value, keyed by name in
+     * sorted order (formulas are recomputed, never stored). Part of
+     * the checkpoint format, DESIGN.md §11.
+     */
+    void saveValues(snap::Writer &w) const;
+
+    /**
+     * Restore values saved by saveValues into the registered stats.
+     * The set of registered names must match the checkpoint exactly;
+     * any skew throws snap::SnapshotError.
+     */
+    void loadValues(snap::Reader &r);
 
   private:
     std::vector<Scalar *> scalars;

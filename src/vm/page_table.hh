@@ -29,6 +29,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Physical addresses touched by one hardware page walk. */
 struct WalkPath
 {
@@ -72,6 +78,15 @@ class PageTable
 
     /** Number of virtual pages currently mapped. */
     std::uint64_t mappedPages() const { return _mappedPages; }
+
+    /**
+     * Serialize bookkeeping (checkpointing). The table *content*
+     * lives in the BackingStore and is restored with it; only the
+     * root address (a determinism guard) and the mapped-page count
+     * travel here.
+     */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     static constexpr std::uint32_t entryValid = 0x1;

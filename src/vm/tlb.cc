@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -90,6 +92,34 @@ Tlb::flush()
 {
     for (auto &e : table)
         e.valid = false;
+}
+
+void
+Tlb::saveState(snap::Writer &w) const
+{
+    w.u64(entries);
+    w.u64(ways);
+    w.u64(stamp);
+    for (const Entry &e : table) {
+        w.u32(e.vpn);
+        w.u32(e.framePa);
+        w.u64(e.lruStamp);
+        w.boolean(e.valid);
+    }
+}
+
+void
+Tlb::loadState(snap::Reader &r)
+{
+    r.expectU64(entries, "TLB entries");
+    r.expectU64(ways, "TLB ways");
+    stamp = r.u64();
+    for (Entry &e : table) {
+        e.vpn = r.u32();
+        e.framePa = r.u32();
+        e.lruStamp = r.u64();
+        e.valid = r.boolean();
+    }
 }
 
 } // namespace cdp

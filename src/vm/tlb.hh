@@ -24,6 +24,12 @@ namespace cdp
 
 namespace check { struct Access; }
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /**
  * An LRU, set-associative TLB caching VPN -> PFN translations.
  */
@@ -61,6 +67,12 @@ class Tlb
     unsigned numWays() const { return ways; }
     std::uint64_t hitCount() const { return hits.value(); }
     std::uint64_t missCount() const { return misses.value(); }
+
+    /** Serialize entries + LRU clock (checkpointing). */
+    void saveState(snap::Writer &w) const;
+
+    /** Restore entries; geometry must match. */
+    void loadState(snap::Reader &r);
 
   private:
     friend struct check::Access;

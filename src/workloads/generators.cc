@@ -2,9 +2,31 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "snapshot/ckpt_io.hh"
 
 namespace cdp
 {
+
+// --------------------------------------------------------- block base
+
+void
+BlockUopSource::saveQueue(snap::Writer &w) const
+{
+    w.u64(queue.size());
+    for (const Uop &u : queue)
+        snap::saveUop(w, u);
+}
+
+void
+BlockUopSource::loadQueue(snap::Reader &r)
+{
+    const std::uint64_t n = r.u64();
+    queue.clear();
+    for (std::uint64_t i = 0; i < n; ++i)
+        queue.push_back(snap::loadUop(r));
+}
 
 // ---------------------------------------------------------------- list
 
@@ -50,6 +72,22 @@ ListTraversalGen::emitBlock()
         cur = list.head; // defensive: corrupt list
 }
 
+void
+ListTraversalGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+    w.u32(cur);
+}
+
+void
+ListTraversalGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+    cur = r.u32();
+}
+
 // ---------------------------------------------------------------- tree
 
 TreeSearchGen::TreeSearchGen(HeapAllocator &heap, BuiltTree tree,
@@ -92,6 +130,22 @@ TreeSearchGen::emitBlock()
 
     const Addr child = heap.read32(cur + child_off);
     cur = child != 0 ? child : tree.root;
+}
+
+void
+TreeSearchGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+    w.u32(cur);
+}
+
+void
+TreeSearchGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+    cur = r.u32();
 }
 
 // ---------------------------------------------------------------- hash
@@ -154,6 +208,20 @@ HashLookupGen::emitBlock()
     pushBranch(pcBase + 0x60, true);
 }
 
+void
+HashLookupGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+}
+
+void
+HashLookupGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+}
+
 // --------------------------------------------------------------- graph
 
 GraphWalkGen::GraphWalkGen(HeapAllocator &heap, BuiltGraph graph,
@@ -192,6 +260,22 @@ GraphWalkGen::emitBlock()
 
     const Addr next = heap.read32(adj + 4 * pick);
     cur = next != 0 ? next : graph.nodes.front();
+}
+
+void
+GraphWalkGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+    w.u32(cur);
+}
+
+void
+GraphWalkGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+    cur = r.u32();
 }
 
 // --------------------------------------------------------------- btree
@@ -244,6 +328,20 @@ BTreeSearchGen::emitBlock()
     pushBranch(pcBase + 0x80, true);
 }
 
+void
+BTreeSearchGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+}
+
+void
+BTreeSearchGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+}
+
 // -------------------------------------------------------------- stride
 
 StrideStreamGen::StrideStreamGen(Addr region_base, Addr region_bytes,
@@ -274,6 +372,25 @@ StrideStreamGen::emitBlock()
     pos = wrap ? 0 : pos + stride;
 }
 
+void
+StrideStreamGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+    w.u32(pos);
+}
+
+void
+StrideStreamGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+    pos = r.u32();
+    if (pos >= bytes)
+        r.fail("stride-stream position " + std::to_string(pos) +
+               " outside its " + std::to_string(bytes) + "-byte region");
+}
+
 // -------------------------------------------------------------- random
 
 RandomAccessGen::RandomAccessGen(Addr region_base, Addr region_bytes,
@@ -298,6 +415,20 @@ RandomAccessGen::emitBlock()
     pushLoad(pcBase, base + off, noReg, rv, false);
     pushAlu(pcBase + 4, rv, rc);
     pushBranch(pcBase + 8, true);
+}
+
+void
+RandomAccessGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+}
+
+void
+RandomAccessGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
 }
 
 // ------------------------------------------------------------- compute
@@ -341,6 +472,20 @@ ComputeGen::emitBlock()
                random_branch ? rng.chance(0.5) : true, r0);
 }
 
+void
+ComputeGen::saveState(snap::Writer &w) const
+{
+    saveQueue(w);
+    w.rng(rng);
+}
+
+void
+ComputeGen::loadState(snap::Reader &r)
+{
+    loadQueue(r);
+    r.rng(rng);
+}
+
 // ----------------------------------------------------------------- mix
 
 MixGen::MixGen(std::string mix_name, std::uint64_t seed)
@@ -376,6 +521,36 @@ MixGen::next()
         static_cast<std::size_t>(it - cumWeights.begin()),
         sources.size() - 1);
     return sources[idx]->next();
+}
+
+void
+MixGen::saveState(snap::Writer &w) const
+{
+    w.rng(rng);
+    w.u64(sources.size());
+    for (const auto &src : sources) {
+        // The name doubles as a layout guard: restoring into a mix
+        // whose composition differs must fail loudly, not scramble.
+        w.str(src->name());
+        src->saveState(w);
+    }
+    w.u64(auxiliaries.size());
+    for (const auto &aux : auxiliaries)
+        aux->saveState(w);
+}
+
+void
+MixGen::loadState(snap::Reader &r)
+{
+    r.rng(rng);
+    r.expectU64(sources.size(), "mix sub-source count");
+    for (const auto &src : sources) {
+        r.expectStr(src->name(), "mix sub-source");
+        src->loadState(r);
+    }
+    r.expectU64(auxiliaries.size(), "mix auxiliary-allocator count");
+    for (const auto &aux : auxiliaries)
+        aux->loadState(r);
 }
 
 } // namespace cdp

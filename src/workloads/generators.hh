@@ -52,6 +52,11 @@ class BlockUopSource : public UopSource
     /** Emit at least one uop into the queue. */
     virtual void emitBlock() = 0;
 
+    /** Serialize the staged uop queue (helper for subclasses). */
+    void saveQueue(snap::Writer &w) const;
+    /** Restore the staged uop queue (helper for subclasses). */
+    void loadQueue(snap::Reader &r);
+
     void
     pushLoad(Addr pc, Addr va, std::int8_t src, std::int8_t dst,
              bool pointer)
@@ -133,6 +138,9 @@ class ListTraversalGen : public BlockUopSource
 
     const char *name() const override { return "list-traversal"; }
 
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
+
   protected:
     void emitBlock() override;
 
@@ -160,6 +168,9 @@ class TreeSearchGen : public BlockUopSource
 
     const char *name() const override { return "tree-search"; }
 
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
+
   protected:
     void emitBlock() override;
 
@@ -185,6 +196,9 @@ class HashLookupGen : public BlockUopSource
                   std::uint64_t seed);
 
     const char *name() const override { return "hash-lookup"; }
+
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
 
   protected:
     void emitBlock() override;
@@ -216,6 +230,9 @@ class GraphWalkGen : public BlockUopSource
 
     const char *name() const override { return "graph-walk"; }
 
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
+
   protected:
     void emitBlock() override;
 
@@ -244,6 +261,9 @@ class BTreeSearchGen : public BlockUopSource
 
     const char *name() const override { return "btree-search"; }
 
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
+
   protected:
     void emitBlock() override;
 
@@ -268,6 +288,9 @@ class StrideStreamGen : public BlockUopSource
                     unsigned alu_per_iter, std::uint64_t seed);
 
     const char *name() const override { return "stride-stream"; }
+
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
 
   protected:
     void emitBlock() override;
@@ -294,6 +317,9 @@ class RandomAccessGen : public BlockUopSource
                     unsigned reg_base, std::uint64_t seed);
 
     const char *name() const override { return "random-access"; }
+
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
 
   protected:
     void emitBlock() override;
@@ -322,6 +348,9 @@ class ComputeGen : public BlockUopSource
                std::uint64_t seed);
 
     const char *name() const override { return "compute"; }
+
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
 
   protected:
     void emitBlock() override;
@@ -359,6 +388,14 @@ class MixGen : public UopSource
 
     Uop next() override;
     const char *name() const override { return mixName.c_str(); }
+
+    /**
+     * Serialize the mix RNG, every sub-source (name-guarded so a
+     * layout change fails loudly), and the adopted auxiliary
+     * allocators.
+     */
+    void saveState(snap::Writer &w) const override;
+    void loadState(snap::Reader &r) override;
 
   private:
     std::string mixName;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "snapshot/ckpt_io.hh"
+
 namespace cdp
 {
 
@@ -96,6 +98,26 @@ void
 HeapAllocator::write8(Addr va, std::uint8_t v)
 {
     store.write8(translateOrThrow(va), v);
+}
+
+void
+HeapAllocator::saveState(snap::Writer &w) const
+{
+    w.u64(base);
+    w.u32(top);
+    w.u32(mappedTo);
+    w.rng(rng);
+}
+
+void
+HeapAllocator::loadState(snap::Reader &r)
+{
+    r.expectU64(base, "heap base");
+    top = r.u32();
+    mappedTo = r.u32();
+    if (top < base || mappedTo < base)
+        r.fail("heap bump pointer below the heap base");
+    r.rng(rng);
 }
 
 } // namespace cdp

@@ -32,6 +32,12 @@
 namespace cdp
 {
 
+namespace snap
+{
+class Writer;
+class Reader;
+} // namespace snap
+
 /** Default base of the simulated heap (upper 8 bits = 0x10). */
 constexpr Addr defaultHeapBase = 0x10000000;
 
@@ -79,6 +85,10 @@ class HeapAllocator
     BackingStore &backingStore() { return store; }
     PageTable &pageTable() { return table; }
     FrameAllocator &frameAllocator() { return frames; }
+
+    /** Serialize bump-pointer state + RNG (checkpointing). */
+    void saveState(snap::Writer &w) const;
+    void loadState(snap::Reader &r);
 
   private:
     Addr translateOrThrow(Addr va) const;

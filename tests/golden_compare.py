@@ -18,18 +18,38 @@ import glob
 import os
 import subprocess
 import sys
+import tempfile
 
 
-def run_config(cdpsim, args, jobs):
+def run_cdpsim(cdpsim, argv_tail):
     env = dict(os.environ)
     env.pop("CDP_SCALE", None)  # golden runs are fixed-length
     env.pop("CDP_JOBS", None)   # job count is the test's to choose
-    argv = [cdpsim] + args + ["--stats", "-j%d" % jobs]
+    argv = [cdpsim] + argv_tail
     res = subprocess.run(argv, capture_output=True, text=True, env=env)
     if res.returncode != 0:
         sys.exit("FAIL: %s exited %d\nstderr:\n%s"
                  % (" ".join(argv), res.returncode, res.stderr))
     return res.stdout
+
+
+def run_config(cdpsim, args, jobs):
+    if "--via-checkpoint" not in args:
+        return run_cdpsim(cdpsim, args + ["--stats", "-j%d" % jobs])
+    # Warm-fork golden: write a checkpoint at the quiesce point, then
+    # measure in a fresh process that restores it. The golden output is
+    # the restoring process's stdout; the checkpointing run (which
+    # measures the same phase) is discarded.
+    args = [a for a in args if a != "--via-checkpoint"]
+    fd, ckpt = tempfile.mkstemp(suffix=".ckpt")
+    os.close(fd)
+    try:
+        run_cdpsim(cdpsim, args + ["--checkpoint-out=" + ckpt,
+                                   "--stats", "-j%d" % jobs])
+        return run_cdpsim(cdpsim, args + ["--checkpoint-in=" + ckpt,
+                                          "--stats", "-j%d" % jobs])
+    finally:
+        os.unlink(ckpt)
 
 
 def read_args(path):

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -200,6 +202,115 @@ TEST_P(ConfigFuzzTrace, TraceIsWellFormed)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzzTrace,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class ConfigFuzzCheckpoint
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/**
+ * The differential-equivalence net over random configurations: for
+ * any valid machine, (warm → quiesce → measure) straight through must
+ * be byte-identical to (warm → quiesce → checkpoint → restore into a
+ * fresh machine → measure). Both the pre-measure state (full stats
+ * dump, current cycle) and everything measured afterwards have to
+ * agree exactly.
+ */
+TEST_P(ConfigFuzzCheckpoint, RestoredRunIsByteIdentical)
+{
+    const SimConfig c = randomConfig(GetParam());
+    SCOPED_TRACE("workload=" + c.workload + " seed=" +
+                 std::to_string(GetParam()));
+
+    const auto dump = [](Simulator &sim) {
+        std::ostringstream os;
+        sim.stats().dump(os);
+        return os.str();
+    };
+
+    Simulator straight(c);
+    straight.warmup(c.warmupUops);
+    straight.quiesce();
+    std::stringstream bytes;
+    straight.saveCheckpoint(bytes);
+    // measure() resets the stats, so capture the warm state now.
+    const std::string preStraight = dump(straight);
+
+    Simulator forked(c);
+    forked.restoreCheckpoint(bytes);
+    ASSERT_EQ(preStraight, dump(forked));
+    ASSERT_EQ(straight.core().currentCycle(),
+              forked.core().currentCycle());
+
+    const RunResult rs = straight.measure(c.measureUops);
+    const RunResult rf = forked.measure(c.measureUops);
+    EXPECT_EQ(rs.cycles, rf.cycles);
+    EXPECT_EQ(rs.uops, rf.uops);
+    EXPECT_EQ(rs.mem.l2DemandMisses, rf.mem.l2DemandMisses);
+    EXPECT_EQ(rs.mem.cdpIssued, rf.mem.cdpIssued);
+    EXPECT_EQ(rs.mem.cdpUseful, rf.mem.cdpUseful);
+    EXPECT_EQ(rs.mem.strideIssued, rf.mem.strideIssued);
+    EXPECT_EQ(rs.mem.rescans, rf.mem.rescans);
+    EXPECT_EQ(rs.mem.pollutionInjected, rf.mem.pollutionInjected);
+    EXPECT_EQ(dump(straight), dump(forked));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzzCheckpoint,
+                         ::testing::Range<std::uint64_t>(1, 52));
+
+class ConfigFuzzCheckpointTrace
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/**
+ * Traced variant of the differential net: with the lifecycle tracer
+ * on, the measured phase's event stream — ids, cycles, provenance
+ * roots, everything — must be byte-identical between the straight
+ * and the restored leg. The straight machine's buffer is cleared at
+ * the checkpoint boundary so both legs trace from the same point.
+ */
+TEST_P(ConfigFuzzCheckpointTrace, MeasuredEventStreamIsByteIdentical)
+{
+    SimConfig c = randomConfig(GetParam());
+    c.trace.enabled = true;
+    c.trace.bufferEvents = 1u << 20;
+    SCOPED_TRACE("workload=" + c.workload + " seed=" +
+                 std::to_string(GetParam()));
+
+    Simulator straight(c);
+    straight.warmup(c.warmupUops);
+    straight.quiesce();
+    if (!straight.memory().tracer().active())
+        GTEST_SKIP() << "tracer compiled out (CDP_ENABLE_TRACE=OFF)";
+    std::stringstream bytes;
+    straight.saveCheckpoint(bytes);
+    straight.memory().tracer().clear();
+
+    Simulator forked(c);
+    forked.restoreCheckpoint(bytes);
+
+    const RunResult rs = straight.measure(c.measureUops);
+    const RunResult rf = forked.measure(c.measureUops);
+    ASSERT_EQ(rs.cycles, rf.cycles);
+    straight.memory().drainAll(straight.core().currentCycle());
+    forked.memory().drainAll(forked.core().currentCycle());
+
+    ASSERT_EQ(straight.memory().tracer().dropped(), 0u);
+    ASSERT_EQ(forked.memory().tracer().dropped(), 0u);
+    const std::vector<obs::TraceEvent> es =
+        straight.memory().tracer().snapshot();
+    const std::vector<obs::TraceEvent> ef =
+        forked.memory().tracer().snapshot();
+    ASSERT_EQ(es.size(), ef.size());
+    // TraceEvent is a 40-byte POD with explicit zero padding, so the
+    // streams can be compared as raw bytes.
+    EXPECT_EQ(0, std::memcmp(es.data(), ef.data(),
+                             es.size() * sizeof(obs::TraceEvent)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzzCheckpointTrace,
                          ::testing::Range<std::uint64_t>(1, 9));
 
 TEST(ConfigFuzzDeterminism, SameSeedSameResult)

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned deserializer shape — a std::vector scratch
+// buffer owns its storage through every exception path.
+
+#include <cstddef>
+#include <istream>
+#include <vector>
+
+void
+loadPayloadSafe(std::istream &is, std::size_t n)
+{
+    std::vector<char> buf(n);
+    is.read(buf.data(), static_cast<std::streamsize>(n));
+}

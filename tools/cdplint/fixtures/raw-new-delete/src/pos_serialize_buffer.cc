@@ -1,0 +1,13 @@
+// Fixture: a deserializer hand-rolling a scratch buffer with raw
+// new/delete — the payload read can throw and leak it.
+
+#include <cstddef>
+#include <istream>
+
+void
+loadPayload(std::istream &is, std::size_t n)
+{
+    char *buf = new char[n]; // FINDING raw-new-delete
+    is.read(buf, static_cast<std::streamsize>(n));
+    delete[] buf; // FINDING raw-new-delete
+}

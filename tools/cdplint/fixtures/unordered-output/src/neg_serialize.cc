@@ -1,0 +1,30 @@
+// Fixture: the sanctioned serializer shape — snapshot the keys,
+// sort, then emit. Checkpoint bytes become a pure function of the
+// table's contents, independent of insertion history.
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Writer
+{
+    void writeU32(std::uint32_t v);
+};
+
+void
+saveTableSorted(
+    Writer &w,
+    const std::unordered_map<std::uint32_t, std::uint32_t> &tab)
+{
+    std::vector<std::uint32_t> keys;
+    keys.reserve(tab.size());
+    for (const auto &kv : tab) {
+        keys.push_back(kv.first);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (std::uint32_t k : keys) {
+        w.writeU32(k);
+        w.writeU32(tab.at(k));
+    }
+}

@@ -1,0 +1,21 @@
+// Fixture: a checkpoint serializer draining an unordered table in
+// hash order — exactly what would make checkpoint bytes differ
+// between semantically identical machines.
+
+#include <cstdint>
+#include <unordered_map>
+
+struct Writer
+{
+    void writeU32(std::uint32_t v);
+};
+
+void
+saveTable(Writer &w,
+          const std::unordered_map<std::uint32_t, std::uint32_t> &tab)
+{
+    for (const auto &kv : tab) { // FINDING unordered-output
+        w.writeU32(kv.first);
+        w.writeU32(kv.second);
+    }
+}

@@ -10,7 +10,17 @@
  * Usage:
  *   cdpsim [key=value ...] [--workloads=a,b,c] [--csv] [--stats]
  *          [--capture=PATH] [--trace-out=PATH] [--trace-json=PATH]
+ *          [--checkpoint-out=PATH] [--checkpoint-in=PATH]
  *          [-jN|--jobs=N]
+ *
+ * --checkpoint-out warms the (single) workload, drains the machine to
+ * a quiesce point, writes a checkpoint, then measures as usual.
+ * --checkpoint-in restores a machine from a checkpoint and goes
+ * straight to the measured phase — the two runs' measured output is
+ * byte-identical, which tests/checkpoint_determinism.py enforces.
+ * Sweep knobs (cdp.*, adaptive.*, run lengths) may differ between the
+ * writing and the restoring run; machine geometry and workload must
+ * match and are verified against the checkpoint's config guard.
  *
  * --trace-out / --trace-json enable the lifecycle tracer (implies
  * trace.enabled=1) and dump the run's event ring after the measured
@@ -61,6 +71,8 @@ struct Options
     std::string capturePath;
     std::string traceOutPath;  //!< binary lifecycle trace (CDPO)
     std::string traceJsonPath; //!< Chrome trace_event JSON
+    std::string checkpointOut; //!< write checkpoint after warm-up
+    std::string checkpointIn;  //!< restore checkpoint, skip warm-up
     unsigned jobs = 0; //!< runner workers; 0 = CDP_JOBS / hardware
 
     bool traceWanted() const
@@ -76,7 +88,8 @@ usage()
         stderr,
         "usage: cdpsim [key=value ...] [--workloads=a,b,c|all]\n"
         "              [--csv] [--stats] [--capture=PATH]\n"
-        "              [--trace-out=PATH] [--trace-json=PATH] "
+        "              [--trace-out=PATH] [--trace-json=PATH]\n"
+        "              [--checkpoint-out=PATH] [--checkpoint-in=PATH] "
         "[-jN|--jobs=N]\n"
         "keys: see src/sim/config.cc (e.g. cdp.depth=5, "
         "mem.l2_kb=512,\n      workload=tpcc-2, measure_uops=2000000)\n");
@@ -101,6 +114,10 @@ parse(int argc, char **argv)
             opt.traceOutPath = arg.substr(12);
         } else if (arg.rfind("--trace-json=", 0) == 0) {
             opt.traceJsonPath = arg.substr(13);
+        } else if (arg.rfind("--checkpoint-out=", 0) == 0) {
+            opt.checkpointOut = arg.substr(17);
+        } else if (arg.rfind("--checkpoint-in=", 0) == 0) {
+            opt.checkpointIn = arg.substr(16);
         } else if (arg.rfind("--workloads=", 0) == 0) {
             const std::string list = arg.substr(12);
             if (list == "all") {
@@ -133,6 +150,20 @@ parse(int argc, char **argv)
                 "this build has the tracer compiled out "
                 "(reconfigure with -DCDP_ENABLE_TRACE=ON)");
         opt.cfg.trace.enabled = true;
+    }
+    if (!opt.checkpointOut.empty() && !opt.checkpointIn.empty())
+        throw std::invalid_argument(
+            "--checkpoint-out and --checkpoint-in are mutually "
+            "exclusive");
+    if (!opt.checkpointOut.empty() || !opt.checkpointIn.empty()) {
+        if (opt.workloads.size() > 1)
+            throw std::invalid_argument(
+                "--checkpoint-out/--checkpoint-in take a single "
+                "workload");
+        if (!opt.capturePath.empty() || opt.traceWanted())
+            throw std::invalid_argument(
+                "--checkpoint-out/--checkpoint-in cannot be combined "
+                "with --capture or --trace-*");
     }
     return opt;
 }
@@ -247,6 +278,40 @@ main(int argc, char **argv)
             SimConfig c = opt.cfg;
             c.workload = opt.workloads.front();
             capture(c, opt.capturePath);
+            return 0;
+        }
+
+        if (!opt.checkpointOut.empty() || !opt.checkpointIn.empty()) {
+            SimConfig c = opt.cfg;
+            c.workload = opt.workloads.front();
+            if (opt.csv)
+                printCsvHeader();
+            else
+                std::fprintf(stderr, "%s\n\n", c.summary().c_str());
+            Simulator sim(c);
+            if (!opt.checkpointIn.empty()) {
+                sim.restoreCheckpointFile(opt.checkpointIn);
+                std::fprintf(stderr, "checkpoint: restored %s\n",
+                             opt.checkpointIn.c_str());
+            } else {
+                sim.warmup(c.warmupUops);
+                sim.quiesce();
+                sim.saveCheckpointFile(opt.checkpointOut);
+                std::fprintf(stderr, "checkpoint: wrote %s\n",
+                             opt.checkpointOut.c_str());
+            }
+            const RunResult r = sim.measure(c.measureUops);
+            if (opt.csv)
+                printCsvRow(r);
+            else
+                printHumanRow(c.workload, r);
+            if (opt.stats) {
+                std::printf("---- full statistics: %s ----\n",
+                            c.workload.c_str());
+                std::ostringstream os;
+                sim.stats().dump(os);
+                std::fputs(os.str().c_str(), stdout);
+            }
             return 0;
         }
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Per-directory line-coverage report for the CI coverage job.
+
+Reads a gcovr JSON report (``gcovr --json``) and prints one row per
+source directory: covered/total lines, the directory's line coverage,
+and its delta against the repo-wide floor in tools/coverage_floor.txt.
+Directories below the floor are marked; the repo-wide gate itself
+stays with gcovr's --fail-under-line so this report is informational
+and never races the enforcement.
+
+Usage: coverage_by_dir.py <gcovr-json> [floor-file]
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.stderr.write(__doc__)
+        return 2
+    with open(argv[1]) as f:
+        report = json.load(f)
+    floor_file = argv[2] if len(argv) == 3 else os.path.join(
+        os.path.dirname(os.path.abspath(argv[0])), "coverage_floor.txt")
+    with open(floor_file) as f:
+        floor = float(f.read().strip())
+
+    dirs = {}
+    for entry in report.get("files", []):
+        d = os.path.dirname(entry["file"]) or "."
+        covered, total = dirs.get(d, (0, 0))
+        lines = entry.get("lines", [])
+        covered += sum(1 for l in lines if l.get("count", 0) > 0)
+        total += len(lines)
+        dirs[d] = (covered, total)
+
+    if not dirs:
+        sys.stderr.write("coverage_by_dir: no files in report\n")
+        return 1
+
+    print("%-28s %9s %8s %9s" % ("directory", "lines", "cover",
+                                 "vs floor"))
+    all_covered = all_total = 0
+    for d in sorted(dirs):
+        covered, total = dirs[d]
+        all_covered += covered
+        all_total += total
+        pct = 100.0 * covered / total if total else 0.0
+        delta = pct - floor
+        print("%-28s %4d/%4d %7.1f%% %+8.1f%%%s"
+              % (d, covered, total, pct, delta,
+                 "  (below floor)" if delta < 0 else ""))
+    pct = 100.0 * all_covered / all_total if all_total else 0.0
+    print("%-28s %4d/%4d %7.1f%% %+8.1f%%  (floor %.0f%%)"
+          % ("total", all_covered, all_total, pct, pct - floor, floor))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -22,9 +22,23 @@ unset CDP_SCALE CDP_JOBS || true
 for args_file in "$repo"/tests/golden/*.args; do
     name=$(basename "$args_file" .args)
     stats_file="$repo/tests/golden/$name.stats"
-    # shellcheck disable=SC2046  # word-splitting the args is the point
-    "$cdpsim" $(grep -v '^[[:space:]]*#' "$args_file") --stats -j1 \
-        > "$stats_file" 2>/dev/null
+    args=$(grep -v '^[[:space:]]*#' "$args_file" | grep -v '^--via-checkpoint$')
+    if grep -q '^--via-checkpoint$' "$args_file"; then
+        # Warm-fork golden: checkpoint at the quiesce point, then
+        # measure in a fresh process restoring it (mirrors the
+        # --via-checkpoint handling in tests/golden_compare.py).
+        ckpt=$(mktemp)
+        # shellcheck disable=SC2086  # word-splitting the args is the point
+        "$cdpsim" $args --checkpoint-out="$ckpt" --stats -j1 \
+            > /dev/null 2>&1
+        # shellcheck disable=SC2086
+        "$cdpsim" $args --checkpoint-in="$ckpt" --stats -j1 \
+            > "$stats_file" 2>/dev/null
+        rm -f "$ckpt"
+    else
+        # shellcheck disable=SC2086  # word-splitting the args is the point
+        "$cdpsim" $args --stats -j1 > "$stats_file" 2>/dev/null
+    fi
     echo "regolden: wrote $stats_file ($(wc -c < "$stats_file") bytes)"
 done
 echo "regolden: done — review the diff before committing"

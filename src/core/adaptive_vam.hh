@@ -108,11 +108,13 @@ class AdaptiveVamController
     void loadState(snap::Reader &r);
 
   private:
+    // cdplint: transient(cfg) -- construction-time policy knobs; the restoring side's own config governs
     AdaptiveVamConfig cfg;
     std::uint64_t issuedInEpoch = 0;
     std::uint64_t usefulInEpoch = 0;
     double lastAccuracy = 0.0;
 
+    // cdplint: transient(dummyGroup, epochs, tightens, loosens) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar epochs;
     Scalar tightens;

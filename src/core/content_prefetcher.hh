@@ -190,8 +190,10 @@ class ContentPrefetcher
 
   private:
     CdpConfig cfg;
+    // cdplint: transient(predictor) -- the VAM is stateless by design (the paper's central claim); nothing to checkpoint
     Vam predictor;
 
+    // cdplint: transient(dummyGroup, scans, rescans, candidates, widthLines, depthSuppressed) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar scans;
     Scalar rescans;

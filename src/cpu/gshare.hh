@@ -58,10 +58,12 @@ class Gshare
         return static_cast<unsigned>(((pc >> 2) ^ history) & mask);
     }
 
+    // cdplint: transient(mask) -- derived from the PHT size at construction; geometry must match across restore
     unsigned mask;
     std::vector<std::uint8_t> pht; //!< 2-bit counters
     std::uint32_t history = 0;
 
+    // cdplint: transient(dummyGroup, lookups, mispredicts) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar lookups;
     Scalar mispredicts;

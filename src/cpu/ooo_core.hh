@@ -141,7 +141,9 @@ class OooCore
     /** Fetch/issue up to issueWidth uops. */
     void issueStage();
 
+    // cdplint: transient(cfg) -- construction-time geometry; loadState cross-checks compatibility, it never overwrites
     CoreConfig cfg;
+    // cdplint: transient(source, mem) -- wiring references rebuilt by the restoring harness, not state
     UopSource &source;
     CoreMemIf &mem;
     Gshare bp;
@@ -152,10 +154,12 @@ class OooCore
     Uop pending{};
     bool havePending = false;
     std::deque<RobEntry> rob;
+    // cdplint: transient(loadsInRob, storesInRob) -- recomputed from the restored ROB contents in loadState
     unsigned loadsInRob = 0;
     unsigned storesInRob = 0;
     Cycle regReady[numRegs] = {};
 
+    // cdplint: transient(dummyGroup, uopsRetired, issuedLoads, issuedStores, issuedBranches, robFullCycles, fetchStallCycles) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar uopsRetired;
     Scalar issuedLoads;

@@ -74,6 +74,7 @@ class Bus
     Cycle occupancy;
     Cycle busyUntil = 0;
 
+    // cdplint: transient(dummyGroup, transfers, cyclesBusy) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar transfers;
     Scalar cyclesBusy;

@@ -165,10 +165,12 @@ class Cache
 
     unsigned ways;
     unsigned sets;
+    // cdplint: transient(setMask) -- precomputed from 'sets', whose geometry loadState already cross-checks
     unsigned setMask; //!< sets - 1, precomputed (sets is pow2)
     std::vector<CacheLine> lines; // sets * ways
     std::uint64_t stamp = 0;
 
+    // cdplint: transient(dummyGroup, hits, misses, evictions) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar hits;
     Scalar misses;

@@ -106,7 +106,9 @@ class QueuedArbiter
     /** Drop the lowest-priority resident prefetch; false if none. */
     bool dropLowestPrefetch();
 
+    // cdplint: transient(capacity) -- construction-time geometry; checkpoints are taken at quiesce points
     unsigned capacity;
+    // cdplint: transient(queues) -- saveState throws unless the arbiter is empty, so there is never queue content to serialize
     std::deque<MemRequest> queues[numPriorities];
     std::size_t total = 0;
 
@@ -122,6 +124,7 @@ class QueuedArbiter
     std::uint64_t droppedCount = 0;  //!< rejected + displaced
     std::uint64_t extractedCount = 0;
 
+    // cdplint: transient(dummyGroup, accepted, rejected, displaced, issued) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar accepted;
     Scalar rejected;

@@ -107,6 +107,7 @@ class MarkovPrefetcher : public Prefetcher
     bool havePrev = false;
     std::uint64_t stamp = 0;
 
+    // cdplint: transient(dummyGroup, observed, issued, trained) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar observed;
     Scalar issued;

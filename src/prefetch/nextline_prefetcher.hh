@@ -65,13 +65,16 @@ class NextLinePrefetcher : public Prefetcher
   private:
     void rememberIssued(Addr line_va);
 
+    // cdplint: transient(degree, tagged) -- construction-time policy knobs; the restoring side's own config governs
     unsigned degree;
     bool tagged;
 
     static constexpr std::size_t recentCapacity = 4096;
     std::deque<Addr> recentFifo;
+    // cdplint: transient(recentSet) -- index over recentFifo, rebuilt from it in loadState
     std::unordered_set<Addr> recentSet;
 
+    // cdplint: transient(dummyGroup, observed, issued, suppressed) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar observed;
     Scalar issued;

@@ -82,14 +82,17 @@ class StridePrefetcher : public Prefetcher
     void rememberIssued(Addr line_va);
 
     std::vector<Entry> table;
+    // cdplint: transient(degree, confThreshold) -- construction-time policy knobs; the restoring side's own config governs
     unsigned degree;
     unsigned confThreshold;
 
     /** Ring of recently issued line addresses (adjusted stats). */
     static constexpr std::size_t recentCapacity = 4096;
     std::deque<Addr> recentFifo;
+    // cdplint: transient(recentSet) -- index over recentFifo, rebuilt from it in loadState
     std::unordered_set<Addr> recentSet;
 
+    // cdplint: transient(dummyGroup, observed, issued) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup;
     Scalar observed;
     Scalar issued;

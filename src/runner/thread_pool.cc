@@ -25,6 +25,7 @@ ThreadPool::defaultWorkers()
 ThreadPool::ThreadPool(unsigned workers)
 {
     const unsigned n = workers > 0 ? workers : defaultWorkers();
+    // cdplint: allow(lock-discipline) -- single-threaded: the workers that could race are created on the next line
     queues.resize(n);
     threads.reserve(n);
     for (unsigned i = 0; i < n; ++i)
@@ -63,7 +64,7 @@ ThreadPool::waitIdle()
 }
 
 bool
-ThreadPool::takeTask(std::size_t self, Task &out)
+ThreadPool::takeTask(std::size_t self, Task &out) // cdplint: requires_lock(mtx)
 {
     auto &own = queues[self];
     if (!own.empty()) {

@@ -87,11 +87,11 @@ class ThreadPool
     std::mutex mtx;
     std::condition_variable cvWork;
     std::condition_variable cvIdle;
-    std::vector<std::deque<Task>> queues;
+    std::vector<std::deque<Task>> queues; // cdplint: guarded_by(mtx)
     std::vector<std::thread> threads;
-    std::size_t nextQueue = 0; //!< round-robin deal position
-    std::size_t inflight = 0;  //!< submitted, not yet finished
-    bool stopping = false;
+    std::size_t nextQueue = 0; //!< round-robin deal position; cdplint: guarded_by(mtx)
+    std::size_t inflight = 0;  //!< submitted, not yet finished; cdplint: guarded_by(mtx)
+    bool stopping = false;     // cdplint: guarded_by(mtx)
 };
 
 /**

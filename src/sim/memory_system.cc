@@ -906,7 +906,8 @@ MemorySystem::loadState(snap::Reader &r)
     if (markov)
         markov->loadState(r);
     const CdpConfig savedBase = snap::loadCdpConfig(r);
-    cdp.loadState(r, savedBase == cfg.cdp);
+    const bool sameBase = savedBase == cfg.cdp;
+    cdp.loadState(r, sameBase);
     adaptive.loadState(r);
     bus.loadState(r);
     l2Arbiter.loadState(r);

@@ -254,12 +254,14 @@ class MemorySystem : public CoreMemIf
 
     /** Mutable only through reconfigureCdp(); geometry never changes. */
     SimConfig cfg;
+    // cdplint: transient(backing, pageTable) -- wiring references; memory and page-table contents are checkpointed by their owners
     BackingStore &backing;
     PageTable &pageTable;
 
     Cache dl1;
     Cache ul2;
     Tlb dataTlb;
+    // cdplint: transient(walker) -- stateless between requests; quiesce guarantees no walk is in flight
     PageWalker walker;
     StridePrefetcher stride;
     std::unique_ptr<NextLinePrefetcher> nextline; //!< alt baseline
@@ -279,10 +281,13 @@ class MemorySystem : public CoreMemIf
     ReqId nextReqId = 1;
     std::uint64_t checkTick = 0; //!< advance() calls, for audit pacing
     Rng pollutionRng;
+    // cdplint: transient(pollutionSpan) -- derived from the backing-store span at construction
     Addr pollutionSpan = 0; //!< physical span to pick bad lines from
 
+    // cdplint: transient(trc) -- pure observer; trace buffers are diagnostic output, not architectural state
     obs::Tracer trc; //!< lifecycle-event recorder (pure observer)
 
+    // cdplint: transient(dummyStatGroup, loadLatency, prefetchLead, provChainDepth, provFormulas) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyStatGroup; //!< sink when no group is supplied
     /** Demand-load latency distribution (cycles, log-ish buckets). */
     Distribution loadLatency;

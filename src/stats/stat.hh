@@ -101,6 +101,7 @@ class Distribution
     void loadState(snap::Reader &r);
 
   private:
+    // cdplint: transient(_name, _desc, _lo, _hi, _bucketWidth) -- registration identity and bucket geometry are construction-time; loadState cross-checks geometry instead of overwriting it
     std::string _name;
     std::string _desc;
     double _lo = 0.0;

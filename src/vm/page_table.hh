@@ -94,6 +94,7 @@ class PageTable
     static Addr dirIndex(Addr va) { return (va >> 22) & 0x3ff; }
     static Addr tblIndex(Addr va) { return (va >> 12) & 0x3ff; }
 
+    // cdplint: transient(store, frameAlloc) -- wiring references; the radix tree lives in the backing store, which checkpoints itself
     BackingStore &store;
     FrameAllocator &frameAlloc;
     Addr rootPa;

@@ -89,10 +89,12 @@ class Tlb
 
     unsigned entries;
     unsigned ways;
+    // cdplint: transient(numSets) -- derived from entries/ways, whose geometry loadState already cross-checks
     unsigned numSets;
     std::vector<Entry> table; // numSets * ways
     std::uint64_t stamp = 0;
 
+    // cdplint: transient(dummyGroup, hits, misses) -- Stats are observational, reset at warm-up end, and travel via the stats dump, not the checkpoint
     StatGroup dummyGroup; // used when caller passes no group
     Scalar hits;
     Scalar misses;

@@ -145,6 +145,7 @@ class ListTraversalGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(heap, list, pcBase, regBase, opts) -- workload shape is rebuilt identically at construction from the same seed and config; only the walk cursor and RNG travel
     HeapAllocator &heap;
     BuiltList list;
     Addr pcBase;
@@ -175,6 +176,7 @@ class TreeSearchGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(heap, tree, pcBase, regBase, opts) -- workload shape is rebuilt identically at construction from the same seed and config; only the walk cursor and RNG travel
     HeapAllocator &heap;
     BuiltTree tree;
     Addr pcBase;
@@ -204,6 +206,7 @@ class HashLookupGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(heap, hash, pcBase, regBase, opts) -- workload shape is rebuilt identically at construction from the same seed and config; only the walk cursor and RNG travel
     HeapAllocator &heap;
     BuiltHash hash;
     Addr pcBase;
@@ -237,6 +240,7 @@ class GraphWalkGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(heap, graph, pcBase, regBase, opts) -- workload shape is rebuilt identically at construction from the same seed and config; only the walk cursor and RNG travel
     HeapAllocator &heap;
     BuiltGraph graph;
     Addr pcBase;
@@ -268,6 +272,7 @@ class BTreeSearchGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(heap, tree, pcBase, regBase, opts) -- workload shape is rebuilt identically at construction from the same seed and config; only the walk cursor and RNG travel
     HeapAllocator &heap;
     BuiltBTree tree;
     Addr pcBase;
@@ -296,6 +301,7 @@ class StrideStreamGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(base, bytes, stride, pcBase, regBase, aluPerIter) -- workload shape is rebuilt identically at construction from the same seed and config; only the walk cursor and RNG travel
     Addr base;
     Addr bytes;
     Addr stride;
@@ -325,6 +331,7 @@ class RandomAccessGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(base, bytes, pcBase, regBase) -- workload shape is rebuilt identically at construction from the same seed and config; only the RNG travels
     Addr base;
     Addr bytes;
     Addr pcBase;
@@ -356,6 +363,7 @@ class ComputeGen : public BlockUopSource
     void emitBlock() override;
 
   private:
+    // cdplint: transient(pcBase, regBase, blockUops, fpFrac, branchRandomProb, hotBase, hotBytes, hotLoads) -- workload shape is rebuilt identically at construction from the same seed and config; only the RNG travels
     Addr pcBase;
     unsigned regBase;
     unsigned blockUops;
@@ -398,6 +406,7 @@ class MixGen : public UopSource
     void loadState(snap::Reader &r) override;
 
   private:
+    // cdplint: transient(mixName, cumWeights, totalWeight) -- mix recipe is construction-time; only the constituent sources and the selector RNG travel
     std::string mixName;
     Rng rng;
     std::vector<std::unique_ptr<UopSource>> sources;

@@ -93,12 +93,14 @@ class HeapAllocator
   private:
     Addr translateOrThrow(Addr va) const;
 
+    // cdplint: transient(store, table, frames) -- wiring references rebuilt by the restoring harness, not state
     BackingStore &store;
     PageTable &table;
     FrameAllocator &frames;
     Addr base;
     Addr top;
     Addr mappedTo; //!< first unmapped heap address
+    // cdplint: transient(alignNoise) -- construction-time policy knob; the restoring side's own config governs
     double alignNoise;
     Rng rng;
 };

@@ -1,7 +1,7 @@
 """Declaration-aware index over the lexed token streams.
 
-The old lint_sim.py knew which identifiers hold Cycle timestamps via
-a hardcoded CYCLE_IDENTS list; this module derives that information
+The retired single-file linter knew which identifiers hold Cycle
+timestamps via a hardcoded list; this module derives that information
 from the declarations themselves, across every file in the lint run:
 
   - cycle_idents: identifiers declared with type `Cycle` (variables,

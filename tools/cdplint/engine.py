@@ -24,14 +24,17 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import re
 import sys
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import lexer
 from decls import DeclIndex, build_index
+from model import ProgramModel, build_model, parse_annotation
 
 TOOL_NAME = "cdplint"
 TOOL_VERSION = "1.0.0"
@@ -90,6 +93,9 @@ class FileContext:
     comments: List[lexer.Comment]
     index: DeclIndex            # global declaration index
     root: Path                  # lint root (for sibling lookups)
+    # whole-program model (classes, bodies, includes, annotations)
+    # shared by the cross-TU rule families
+    model: Optional[ProgramModel] = None
     # code tokens grouped by line for line-oriented rules
     tokens_by_line: Dict[int, List[lexer.Token]] = field(
         default_factory=dict)
@@ -115,6 +121,16 @@ def scan_suppressions(ctx: FileContext) -> List[Suppression]:
     for c in ctx.comments:
         m = _ALLOW_RE.search(c.text)
         if m is None:
+            ann = parse_annotation(c.text)
+            if ann is not None:
+                # Semantic annotation (transient / guarded_by /
+                # requires_lock): consumed by the model, not a
+                # suppression — but a malformed one is still an error
+                # here, exactly like a malformed allow().
+                if not ann[3]:
+                    out.append(Suppression(set(), "", c.line, c.line,
+                                           malformed=True))
+                continue
             if "cdplint:" in c.text:
                 # Looks like an attempted directive but did not parse.
                 out.append(Suppression(set(), "", c.line, c.line,
@@ -210,17 +226,107 @@ def relpath(p: Path) -> str:
         return p.as_posix()
 
 
+# Shared state for --jobs workers. Populated in the parent before the
+# fork pool is created, so children inherit it read-only and nothing
+# but the per-file payload and results ever crosses a pipe.
+_WORK: Dict[str, object] = {}
+
+
+def _lex_one(payload: Tuple[str, str]):
+    """Worker: read + lex one file. Returns everything the parent
+    needs to build the context and the global model."""
+    abs_path, rel = payload
+    text = Path(abs_path).read_text(errors="replace")
+    toks, comments = lexer.lex(text)
+    return rel, text, toks, comments
+
+
+def _analyze_one(i: int) -> List[Finding]:
+    """Worker: run every active rule over one file and apply that
+    file's suppressions. Pure function of the shared state + index,
+    so results are identical at any job count."""
+    ctx: FileContext = _WORK["contexts"][i]
+    active: Dict[str, object] = _WORK["active"]
+    only_rules: Optional[Set[str]] = _WORK["only_rules"]
+
+    sups = scan_suppressions(ctx)
+    raw: List[Finding] = []
+    for rid, r in active.items():
+        raw.extend(r.check(ctx))
+
+    # Apply suppressions.
+    kept: List[Finding] = []
+    for f in sorted(raw, key=lambda x: (x.line, x.col, x.rule)):
+        sup = next((s for s in sups
+                    if not s.malformed and s.target_line == f.line
+                    and f.rule in s.rules), None)
+        if sup is not None:
+            sup.used = True
+            continue
+        kept.append(f)
+
+    # Suppression hygiene findings. A stale suppression is an error —
+    # a waiver that outlives its finding hides the next regression on
+    # that line.
+    for s in sups:
+        if s.malformed:
+            kept.append(Finding(
+                "bad-suppression", ctx.path, s.comment_line, 1,
+                "malformed cdplint directive; use "
+                "'// cdplint: allow(rule) -- reason' or an "
+                "annotation per DESIGN.md §10 (reasons are "
+                "mandatory)"))
+        elif not s.used and (only_rules is None or
+                             s.rules & set(active)):
+            kept.append(Finding(
+                "unused-suppression", ctx.path, s.comment_line, 1,
+                f"suppression for {', '.join(sorted(s.rules))} "
+                "matched no finding; delete it"))
+    for line, rid in legacy_waivers(ctx):
+        kept.append(Finding(
+            "legacy-waiver", ctx.path, line, 1,
+            f"old-style '// lint-ok: {rid}' waiver; migrate to "
+            f"'// cdplint: allow({rid}) -- reason'"))
+    return kept
+
+
+def _map_jobs(fn, items: List, jobs: int) -> List:
+    """Order-preserving map, forked across ``jobs`` workers when
+    possible. Falls back to serial (identical results, by
+    construction) when multiprocessing is unavailable."""
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    try:
+        import multiprocessing
+        mp = multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        return [fn(it) for it in items]
+    try:
+        with mp.Pool(min(jobs, len(items))) as pool:
+            return pool.map(fn, items, chunksize=4)
+    except OSError:
+        return [fn(it) for it in items]
+
+
 def run_analysis(files: List[Path],
                  only_rules: Optional[Set[str]] = None,
-                 ) -> Tuple[List[FileContext], List[Finding]]:
-    """Lex, index, and run every registered rule over ``files``."""
+                 jobs: int = 1,
+                 ) -> Tuple[List[FileContext], List[Finding],
+                            ProgramModel]:
+    """Lex, index, model, and run every registered rule over
+    ``files``. Two passes: pass 1 lexes every file and builds the
+    whole-program model (declaration index, class/member lists,
+    method bodies, include graph, annotations); pass 2 runs the rules
+    per file against that model. Both passes fan out over ``jobs``
+    workers; output is byte-identical at any job count."""
+    lexed = _map_jobs(_lex_one, [(str(f), relpath(f)) for f in files],
+                      jobs)
     streams = {}
+    comments_by_path = {}
     contexts: List[FileContext] = []
-    for f in files:
-        text = f.read_text(errors="replace")
-        toks, comments = lexer.lex(text)
-        rel = relpath(f)
+    for (rel, text, toks, comments), f in zip(lexed, files):
         streams[rel] = toks
+        comments_by_path[rel] = comments
         ctx = FileContext(path=rel, lines=text.splitlines(),
                           tokens=toks, comments=comments,
                           index=None, root=f.parent)  # type: ignore
@@ -229,52 +335,27 @@ def run_analysis(files: List[Path],
         contexts.append(ctx)
 
     index = build_index(streams)
-    findings: List[Finding] = []
+    prog = build_model(streams, comments_by_path)
     rules_map = all_rules()
     active = {rid: cls() for rid, cls in sorted(rules_map.items())
               if only_rules is None or rid in only_rules}
-
     for ctx in contexts:
         ctx.index = index
-        sups = scan_suppressions(ctx)
-        raw: List[Finding] = []
-        for rid, r in active.items():
-            raw.extend(r.check(ctx))
+        ctx.model = prog
 
-        # Apply suppressions.
-        kept: List[Finding] = []
-        for f in sorted(raw, key=lambda x: (x.line, x.col, x.rule)):
-            sup = next((s for s in sups
-                        if not s.malformed and s.target_line == f.line
-                        and f.rule in s.rules), None)
-            if sup is not None:
-                sup.used = True
-                continue
-            kept.append(f)
+    _WORK["contexts"] = contexts
+    _WORK["active"] = active
+    _WORK["only_rules"] = only_rules
+    try:
+        per_file = _map_jobs(_analyze_one, list(range(len(contexts))),
+                             jobs)
+    finally:
+        _WORK.clear()
 
-        # Suppression hygiene findings.
-        for s in sups:
-            if s.malformed:
-                kept.append(Finding(
-                    "bad-suppression", ctx.path, s.comment_line, 1,
-                    "malformed suppression; use "
-                    "'// cdplint: allow(rule) -- reason' (the reason "
-                    "is mandatory)"))
-            elif not s.used and (only_rules is None or
-                                 s.rules & set(active)):
-                kept.append(Finding(
-                    "unused-suppression", ctx.path, s.comment_line, 1,
-                    f"suppression for {', '.join(sorted(s.rules))} "
-                    "matched no finding; delete it",
-                    severity=SEV_WARNING))
-        for line, rid in legacy_waivers(ctx):
-            kept.append(Finding(
-                "legacy-waiver", ctx.path, line, 1,
-                f"old-style '// lint-ok: {rid}' waiver; migrate to "
-                f"'// cdplint: allow({rid}) -- reason'"))
-
+    findings: List[Finding] = []
+    for kept in per_file:
         findings.extend(kept)
-    return contexts, findings
+    return contexts, findings, prog
 
 
 def builtin_rule_meta() -> Dict[str, Tuple[str, str]]:
@@ -285,13 +366,15 @@ def builtin_rule_meta() -> Dict[str, Tuple[str, str]]:
             "A cdplint suppression comment that does not parse or "
             "lacks the mandatory '-- reason' clause."),
         "unused-suppression": (
-            SEV_WARNING,
+            SEV_ERROR,
             "A suppression that matched no finding on its target "
-            "line; stale waivers hide real regressions."),
+            "line; stale waivers hide real regressions, so they are "
+            "errors and must be deleted."),
         "legacy-waiver": (
             SEV_ERROR,
-            "An old-style '// lint-ok:' waiver from lint_sim.py; "
-            "migrate to '// cdplint: allow(rule) -- reason'."),
+            "An old-style '// lint-ok:' waiver from the retired "
+            "single-file linter; migrate to "
+            "'// cdplint: allow(rule) -- reason'."),
     }
 
 
@@ -319,6 +402,16 @@ def main(argv: List[str]) -> int:
                     help="run only the named rule(s)")
     ap.add_argument("--list-rules", action="store_true",
                     help="print the rule catalog and exit")
+    ap.add_argument("--jobs", "-j", type=int, metavar="N",
+                    default=0,
+                    help="analysis worker processes (default: CPU "
+                         "count); findings and SARIF bytes are "
+                         "identical at any value")
+    ap.add_argument("--dump-model", metavar="FILE",
+                    help="write the cross-TU program model (classes, "
+                         "members, bodies, include graph, "
+                         "annotations) as JSON, for debugging rule "
+                         "behaviour")
     try:
         args = ap.parse_args(argv)
     except SystemExit as e:
@@ -349,7 +442,17 @@ def main(argv: List[str]) -> int:
         print(e, file=sys.stderr)
         return 2
 
-    contexts, findings = run_analysis(files, only)
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    t0 = time.monotonic()
+    contexts, findings, prog = run_analysis(files, only, jobs)
+    elapsed = time.monotonic() - t0
+
+    if args.dump_model:
+        from model import model_to_json
+        Path(args.dump_model).write_text(
+            json.dumps(model_to_json(prog), indent=2, sort_keys=True)
+            + "\n")
+
     lines_by_path = {c.path: c.lines for c in contexts}
     with_fp = [(f, fingerprint(f, lines_by_path.get(f.path, [])))
                for f in findings]
@@ -382,6 +485,9 @@ def main(argv: List[str]) -> int:
             emit.to_sarif(final, rules_map, builtin_rule_meta()))
 
     nfiles = len(files)
+    # Timing goes to stderr: stdout stays byte-identical at any -j.
+    print(f"{TOOL_NAME}: analyzed {nfiles} file(s) in "
+          f"{elapsed:.2f}s with {jobs} job(s)", file=sys.stderr)
     if final:
         print(f"{TOOL_NAME}: {len(final)} finding(s) in {nfiles} "
               f"file(s)", file=sys.stderr)

@@ -1,0 +1,6 @@
+// Positive: 'core' and 'cpu' are sibling layers; neither may reach
+// into the other.
+#include "cpu/gshare.hh"
+#include "memsys/cache.hh"
+
+int core_pos_cross_anchor = 0;

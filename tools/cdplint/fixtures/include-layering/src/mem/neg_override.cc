@@ -1,0 +1,7 @@
+// Negative: check/check.hh and snapshot/ckpt_io.hh are common-layer
+// by decree (FILE_LAYER_OVERRIDES), so a foundation module may use
+// them even though their directories are top-layer.
+#include "check/check.hh"
+#include "snapshot/ckpt_io.hh"
+
+int mem_neg_override_anchor = 0;

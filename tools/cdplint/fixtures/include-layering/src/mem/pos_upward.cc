@@ -1,0 +1,6 @@
+// Positive: 'mem' is a foundation layer; including the simulator
+// harness points up the DAG.
+#include "sim/driver.hh"
+#include "common/types.hh"
+
+int mem_pos_upward_anchor = 0;

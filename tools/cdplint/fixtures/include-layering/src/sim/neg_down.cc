@@ -1,0 +1,9 @@
+// Negative: 'sim' sits near the top and may include anything it can
+// reach downward, directly or transitively.
+#include "core/content_prefetcher.hh"
+#include "cpu/ooo_core.hh"
+#include "memsys/bus.hh"
+#include "common/types.hh"
+#include <vector>
+
+int sim_neg_down_anchor = 0;

@@ -1,0 +1,40 @@
+// Negative: every guarded access holds the lock — via lock_guard,
+// unique_lock, a requires_lock contract, a bare .lock(), or an
+// explicit reasoned suppression for a single-threaded phase.
+#pragma once
+
+class Good {
+  public:
+    Good()
+    {
+        // cdplint: allow(lock-discipline) -- single-threaded: no worker exists yet
+        count = 1;
+    }
+
+    void bump()
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        ++count;
+    }
+
+    void wait()
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cv.wait(lk, [this] { return count > 0; });
+    }
+
+    // cdplint: requires_lock(mtx)
+    void bumpLocked() { ++count; }
+
+    void manual()
+    {
+        mtx.lock();
+        ++count;
+        mtx.unlock();
+    }
+
+  private:
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::size_t count = 0; // cdplint: guarded_by(mtx)
+};

@@ -1,0 +1,12 @@
+// Positives: annotation hygiene. guarded_by must name a real mutex
+// member and sit on a member declaration.
+#pragma once
+
+class Orphan {
+  private:
+    std::mutex mtx;
+    int a = 0; // cdplint: guarded_by(no_such_mutex)
+};
+
+// cdplint: guarded_by(mtx)
+int free_floating = 0;

@@ -1,0 +1,12 @@
+// Positive: a bare mtx.lock()/mtx.unlock() pair stops covering the
+// member once unlock has run.
+#include "pos_manual_unlock.hh"
+
+void
+Manual::toggle()
+{
+    mtx.lock();
+    flag = !flag;
+    mtx.unlock();
+    flag = false; // planted: lock already released
+}

@@ -1,0 +1,10 @@
+#pragma once
+
+class Manual {
+  public:
+    void toggle();
+
+  private:
+    std::mutex mtx;
+    bool flag = false; // cdplint: guarded_by(mtx)
+};

@@ -1,0 +1,24 @@
+// Positives: a guarded member touched with no lock in sight, and one
+// touched after the guard's scope has already closed.
+#pragma once
+
+class Pool {
+  public:
+    void bump()
+    {
+        ++count; // planted: no lock held
+    }
+
+    void lapsed()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx);
+            ++count;
+        }
+        ++count; // planted: guard went out of scope
+    }
+
+  private:
+    std::mutex mtx;
+    std::size_t count = 0; // cdplint: guarded_by(mtx)
+};

@@ -1,0 +1,27 @@
+// Negative: every member either travels on both sides in matching
+// order or carries a reasoned transient annotation; helper-call
+// references (w.rng(gen)) count as references.
+#pragma once
+
+class Clean {
+  public:
+    void saveState(Writer &w) const
+    {
+        w.u64(ticks);
+        w.rng(gen);
+    }
+    void loadState(Reader &r)
+    {
+        ticks = r.u64();
+        r.rng(gen);
+        cachedSquare = ticks * ticks;
+    }
+
+  private:
+    unsigned long ticks = 0;
+    Rng gen;
+    // cdplint: transient(cachedSquare) -- derived from ticks on load
+    unsigned long cachedSquare = 0;
+    // cdplint: transient(scratchpad) -- per-call workspace, dead across a checkpoint
+    unsigned long scratchpad = 0;
+};

@@ -1,0 +1,14 @@
+#include "pos_cross_tu.hh"
+
+void
+Ledger::saveState(Writer &w) const
+{
+    w.u64(balance);
+    w.u64(epoch);
+}
+
+void
+Ledger::loadState(Reader &r)
+{
+    balance = r.u64();
+}

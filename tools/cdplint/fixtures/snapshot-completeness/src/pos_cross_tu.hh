@@ -1,0 +1,13 @@
+// Positive (cross-TU): the bodies live in pos_cross_tu.cc and forget
+// 'epoch' on the load side; the finding anchors at the member here.
+#pragma once
+
+class Ledger {
+  public:
+    void saveState(Writer &w) const;
+    void loadState(Reader &r);
+
+  private:
+    unsigned long balance = 0;
+    unsigned long epoch = 0;
+};

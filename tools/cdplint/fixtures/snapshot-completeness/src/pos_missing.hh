@@ -1,0 +1,19 @@
+// Positive: 'dirty' is serialized by neither side and carries no
+// transient annotation.
+#pragma once
+
+class Counter {
+  public:
+    void saveState(Writer &w) const
+    {
+        w.u64(value);
+    }
+    void loadState(Reader &r)
+    {
+        value = r.u64();
+    }
+
+  private:
+    unsigned long value = 0;
+    bool dirty = false;
+};

@@ -1,0 +1,21 @@
+// Positive: both sides touch every member but read them back in a
+// different order than they were written.
+#pragma once
+
+class Pair {
+  public:
+    void saveState(Writer &w) const
+    {
+        w.u64(first);
+        w.u64(second);
+    }
+    void loadState(Reader &r)
+    {
+        second = r.u64();
+        first = r.u64();
+    }
+
+  private:
+    unsigned long first = 0;
+    unsigned long second = 0;
+};

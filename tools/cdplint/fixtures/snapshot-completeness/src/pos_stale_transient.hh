@@ -1,0 +1,28 @@
+// Positives: one transient annotation whose member is serialized
+// after all, one naming a member that does not exist, and one in a
+// class that defines no saveState at all.
+#pragma once
+
+class Stale {
+  public:
+    void saveState(Writer &w) const
+    {
+        w.u64(kept);
+    }
+    void loadState(Reader &r)
+    {
+        kept = r.u64();
+    }
+
+  private:
+    // cdplint: transient(kept) -- stale: both sides serialize it
+    unsigned long kept = 0;
+    // cdplint: transient(ghost) -- no such member
+    unsigned long real = 0; // also missing from both sides (planted)
+};
+
+class NeverSaved {
+  private:
+    // cdplint: transient(scratch) -- class has no saveState; dead weight
+    unsigned long scratch = 0;
+};

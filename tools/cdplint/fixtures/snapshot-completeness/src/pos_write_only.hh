@@ -1,0 +1,14 @@
+// Positive: saveState with no loadState anywhere is a write-only
+// wire format.
+#pragma once
+
+class WriteOnly {
+  public:
+    void saveState(Writer &w) const
+    {
+        w.u64(value);
+    }
+
+  private:
+    unsigned long value = 0;
+};

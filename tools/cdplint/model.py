@@ -1,0 +1,622 @@
+"""Pass-1 cross-TU program model for cdplint.
+
+The per-file rules (PR 4) see one token stream at a time; the
+semantic rule families (snapshot-completeness, include-layering,
+lock-discipline) need whole-program facts: which class declares which
+non-static data members, where every ``saveState``/``loadState`` (and
+any other member-function) body lives — usually a different file from
+the class — the ``#include`` graph, and which members are annotated
+``transient``/``guarded_by``. This module builds that model once per
+run, from the same lexed token streams the rules already get, so no
+file is ever re-read or re-parsed per rule.
+
+Everything here is a plain picklable dataclass: the parallel driver
+(``--jobs``) forks workers after the model is built and they inherit
+it read-only.
+
+The parser is deliberately not a C++ front end. It understands the
+repo's (enforced, clang-format'd) subset: namespaces, classes/structs
+with nested types, access specifiers, member declarations with
+default initializers, in-class method definitions, and out-of-line
+``Cls::method(...) { ... }`` definitions. Exotic declarators
+(function pointers spelled raw, multi-dimensional arrays of
+templates) would be misparsed — and none exist in the tree, which the
+self-test's real-source acceptance checks keep true.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from lexer import IDENT, PP, PUNCT, Comment, Token
+
+# Identifiers that may decorate a declaration without being the
+# declared name or part of the type proper.
+_DECL_QUALIFIERS = {"const", "volatile", "constexpr", "inline",
+                    "mutable", "explicit", "virtual", "typename"}
+
+_ACCESS_SPECIFIERS = {"public", "private", "protected"}
+
+_SKIP_STATEMENT_HEADS = {"using", "typedef", "friend", "static_assert",
+                         "template", "operator"}
+
+_MUTEX_TYPES = {"mutex", "recursive_mutex", "timed_mutex",
+                "shared_mutex"}
+
+
+@dataclass
+class Member:
+    name: str
+    line: int
+    col: int
+    type_text: str
+    is_static: bool = False
+
+
+@dataclass
+class ClassInfo:
+    name: str                # qualified with outer classes: "A::B"
+    path: str
+    line: int                # line of the class-name token
+    end_line: int            # line of the closing '}'
+    members: List[Member] = field(default_factory=list)
+    method_lines: Dict[str, int] = field(default_factory=dict)
+    mutex_members: Set[str] = field(default_factory=set)
+
+    def member(self, name: str) -> Optional[Member]:
+        for m in self.members:
+            if m.name == name:
+                return m
+        return None
+
+    def data_members(self) -> List[Member]:
+        return [m for m in self.members if not m.is_static]
+
+
+@dataclass
+class MethodBody:
+    cls: str                 # class name as written ("Cache", "A::B")
+    method: str
+    path: str
+    sig_line: int            # line the qualified/declared name is on
+    body_lo: int             # token index of the opening '{'
+    body_hi: int             # token index of the matching '}'
+
+
+@dataclass
+class IncludeEdge:
+    path: str                # including file (repo-relative)
+    line: int
+    target: str              # quoted include text, e.g. "memsys/cache.hh"
+
+
+@dataclass
+class Annotation:
+    kind: str                # "transient" | "guarded_by" | "requires_lock"
+    args: Tuple[str, ...]
+    reason: str
+    path: str
+    comment_line: int
+    target_line: int         # next code line for standalone comments
+
+
+@dataclass
+class ProgramModel:
+    # class qualified name -> every definition seen (fixtures may
+    # duplicate names across scratch trees; rules disambiguate by path)
+    classes: Dict[str, List[ClassInfo]] = field(default_factory=dict)
+    # path -> method bodies defined in that file (token indexes refer
+    # to that file's own token stream)
+    bodies: Dict[str, List[MethodBody]] = field(default_factory=dict)
+    includes: Dict[str, List[IncludeEdge]] = field(default_factory=dict)
+    annotations: Dict[str, List[Annotation]] = field(default_factory=dict)
+    # path -> lexed code tokens, so a rule anchored in one file can
+    # read a body that lives in another (the .hh/.cc pairing)
+    streams: Dict[str, List[Token]] = field(default_factory=dict)
+
+    # -- lookups ---------------------------------------------------------
+
+    def classes_in(self, path: str) -> List[ClassInfo]:
+        return [ci for lst in self.classes.values() for ci in lst
+                if ci.path == path]
+
+    def find_class(self, name: str) -> Optional[ClassInfo]:
+        lst = self.classes.get(name)
+        return lst[0] if lst else None
+
+    def find_bodies(self, cls: str, method: str) -> List[MethodBody]:
+        """Every definition of cls::method, across all files. ``cls``
+        matches both the qualified and the unqualified spelling."""
+        short = cls.rsplit("::", 1)[-1]
+        out = []
+        for path in sorted(self.bodies):
+            for b in self.bodies[path]:
+                if b.method != method:
+                    continue
+                bshort = b.cls.rsplit("::", 1)[-1]
+                if b.cls == cls or bshort == short:
+                    out.append(b)
+        return out
+
+    def annotations_on(self, path: str, line: int) -> List[Annotation]:
+        return [a for a in self.annotations.get(path, [])
+                if a.target_line == line]
+
+    def class_transients(self, ci: ClassInfo) -> Dict[str, Annotation]:
+        """member name -> transient annotation, for annotations whose
+        target line falls inside the class body."""
+        out: Dict[str, Annotation] = {}
+        for a in self.annotations.get(ci.path, []):
+            if a.kind != "transient":
+                continue
+            if not (ci.line <= a.target_line <= ci.end_line):
+                continue
+            for name in a.args:
+                out[name] = a
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Annotation comments
+# ---------------------------------------------------------------------------
+
+_ANNOT_RE = re.compile(
+    r"cdplint:\s*(transient|guarded_by|requires_lock)"
+    r"\(\s*([\w, ]*?)\s*\)(?:\s*--\s*(.*))?\s*$")
+
+
+def parse_annotation(text: str) -> Optional[Tuple[str, Tuple[str, ...],
+                                                  str, bool]]:
+    """Parse an annotation comment. Returns (kind, args, reason,
+    well_formed) or None when the comment is not an annotation at
+    all. ``transient`` requires a reason; the lock annotations state a
+    contract, not an exception, and need none."""
+    m = _ANNOT_RE.search(text)
+    if m is None:
+        return None
+    kind = m.group(1)
+    args = tuple(a.strip() for a in m.group(2).split(",") if a.strip())
+    reason = (m.group(3) or "").strip()
+    ok = bool(args) and (kind != "transient" or bool(reason))
+    return kind, args, reason, ok
+
+
+def _scan_annotations(path: str, comments: List[Comment],
+                      code_lines: Set[int]) -> List[Annotation]:
+    out: List[Annotation] = []
+    for c in comments:
+        parsed = parse_annotation(c.text)
+        if parsed is None:
+            continue
+        kind, args, reason, ok = parsed
+        if not ok:
+            continue  # engine reports it as a malformed directive
+        target = c.line
+        if c.line not in code_lines:
+            nxt = [ln for ln in code_lines if ln > c.line]
+            target = min(nxt) if nxt else c.line
+        out.append(Annotation(kind, args, reason, path, c.line, target))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Include graph
+# ---------------------------------------------------------------------------
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+
+def _scan_includes(path: str, toks: List[Token]) -> List[IncludeEdge]:
+    out = []
+    for t in toks:
+        if t.kind != PP:
+            continue
+        m = _INCLUDE_RE.match(t.text)
+        if m:
+            out.append(IncludeEdge(path, t.line, m.group(1)))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Class and member extraction
+# ---------------------------------------------------------------------------
+
+def _match_close(toks: List[Token], i: int, opener: str,
+                 closer: str) -> int:
+    depth = 0
+    n = len(toks)
+    j = i
+    while j < n:
+        t = toks[j]
+        if t.kind == PUNCT:
+            if t.text == opener:
+                depth += 1
+            elif t.text == closer:
+                depth -= 1
+                if depth == 0:
+                    return j
+        j += 1
+    return n
+
+
+def _scan_classes(path: str, toks: List[Token], model: ProgramModel,
+                  lo: int, hi: int, prefix: str) -> None:
+    """Find class/struct definitions in toks[lo:hi] and record their
+    members; recurses into nested classes."""
+    i = lo
+    n = min(hi, len(toks))
+    while i < n:
+        t = toks[i]
+        if t.kind != IDENT or t.text not in ("class", "struct"):
+            i += 1
+            continue
+        prev = toks[i - 1] if i > lo else None
+        if prev is not None and prev.kind == IDENT and \
+                prev.text == "enum":
+            i += 1  # enum class: handled by the enum skip below
+            continue
+        if i + 1 >= n or toks[i + 1].kind != IDENT:
+            i += 1
+            continue
+        name_tok = toks[i + 1]
+        # Walk to the '{' that opens the body or a ';' (forward decl /
+        # 'class X;' friend). Base clauses may contain template
+        # arguments but never braces or semicolons.
+        j = i + 2
+        while j < n and toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= n or toks[j].text == ";":
+            i = j + 1
+            continue
+        body_open = j
+        body_close = _match_close(toks, body_open, "{", "}")
+        qual = (prefix + "::" + name_tok.text) if prefix \
+            else name_tok.text
+        ci = ClassInfo(qual, path, name_tok.line,
+                       toks[body_close].line
+                       if body_close < n else name_tok.line)
+        _scan_class_body(path, toks, model, ci,
+                         body_open + 1, body_close, qual)
+        model.classes.setdefault(qual, []).append(ci)
+        i = body_close + 1
+
+
+def _scan_class_body(path: str, toks: List[Token],
+                     model: ProgramModel, ci: ClassInfo,
+                     lo: int, hi: int, qual: str) -> None:
+    n = min(hi, len(toks))
+    i = lo
+    while i < n:
+        t = toks[i]
+        # Access specifiers: 'public:' etc.
+        if t.kind == IDENT and t.text in _ACCESS_SPECIFIERS and \
+                i + 1 < n and toks[i + 1].text == ":":
+            i += 2
+            continue
+        # Nested class/struct definition (recurse), or forward decl.
+        if t.kind == IDENT and t.text in ("class", "struct") and \
+                i + 1 < n and toks[i + 1].kind == IDENT:
+            j = i + 2
+            while j < n and toks[j].text not in ("{", ";"):
+                j += 1
+            if j < n and toks[j].text == "{":
+                _scan_classes(path, toks, model, i,
+                              _match_close(toks, j, "{", "}") + 1, qual)
+                i = _match_close(toks, j, "{", "}") + 1
+                # Trailing declarators ('} name;') declare a member of
+                # the nested type.
+                if i < n and toks[i].kind == IDENT and \
+                        i + 1 < n and toks[i + 1].text == ";":
+                    ci.members.append(Member(
+                        toks[i].text, toks[i].line, toks[i].col,
+                        toks[i - 1].text if i > 0 else ""))
+                    i += 2
+                elif i < n and toks[i].text == ";":
+                    i += 1
+                continue
+            i = j + 1
+            continue
+        # enums: skip the whole definition.
+        if t.kind == IDENT and t.text == "enum":
+            j = i
+            while j < n and toks[j].text not in ("{", ";"):
+                j += 1
+            if j < n and toks[j].text == "{":
+                j = _match_close(toks, j, "{", "}")
+            while j < n and toks[j].text != ";":
+                j += 1
+            i = j + 1
+            continue
+        # Statements that never declare a data member.
+        if t.kind == IDENT and t.text in _SKIP_STATEMENT_HEADS:
+            i = _skip_statement(toks, i, n)
+            continue
+        if t.kind == PP:
+            i += 1
+            continue
+        # Generic statement: collect up to ';' / method body.
+        i = _scan_member_statement(path, toks, model, ci, i, n, qual)
+
+
+def _skip_statement(toks: List[Token], i: int, n: int) -> int:
+    """Skip to just past the terminating ';' (balancing braces, e.g.
+    an in-class template method definition)."""
+    while i < n:
+        txt = toks[i].text
+        if toks[i].kind == PUNCT:
+            if txt == "{":
+                i = _match_close(toks, i, "{", "}")
+                # A closing brace can itself terminate (method defs).
+                if i + 1 < n and toks[i + 1].text == ";":
+                    return i + 2
+                return i + 1
+            if txt == ";":
+                return i + 1
+        i += 1
+    return n
+
+
+def _scan_member_statement(path: str, toks: List[Token],
+                           model: ProgramModel, ci: ClassInfo,
+                           start: int, n: int, qual: str) -> int:
+    """Parse one class-body statement starting at ``start``. Records a
+    data member, a method declaration, or a method definition (whose
+    body is captured for the body index). Returns the index just past
+    the statement."""
+    i = start
+    is_static = False
+    seen_paren_group = False
+    name_tok: Optional[Token] = None       # last top-level identifier
+    pre_name_type: List[str] = []
+    angle = 0
+    while i < n:
+        t = toks[i]
+        txt = t.text
+        if t.kind == PUNCT:
+            if txt == "(":
+                close = _match_close(toks, i, "(", ")")
+                if angle > 0:
+                    # Parens inside template arguments, e.g.
+                    # std::function<void()>: part of the type.
+                    i = close + 1
+                    continue
+                if name_tok is not None and not seen_paren_group:
+                    # IDENT '(' => function (in-class paren-init of a
+                    # data member is not legal C++).
+                    return _finish_method(path, toks, model, ci,
+                                          name_tok, close, n, qual)
+                seen_paren_group = True
+                i = close + 1
+                continue
+            if txt == "[":
+                i = _match_close(toks, i, "[", "]") + 1
+                continue
+            if txt == "<":
+                angle += 1
+                i += 1
+                continue
+            if txt in (">", ">>"):
+                angle = max(0, angle - (2 if txt == ">>" else 1))
+                i += 1
+                continue
+            if txt == "=" or txt == "{":
+                # Initializer: the declarator is complete.
+                j = _skip_statement(toks, i, n) if txt == "{" else \
+                    _finish_initializer(toks, i, n)
+                if name_tok is not None:
+                    ci.members.append(_make_member(
+                        name_tok, pre_name_type, is_static))
+                    _note_mutex(ci, pre_name_type, name_tok.text)
+                return j
+            if txt == ";":
+                if name_tok is not None:
+                    ci.members.append(_make_member(
+                        name_tok, pre_name_type, is_static))
+                    _note_mutex(ci, pre_name_type, name_tok.text)
+                return i + 1
+            if txt == ":" and name_tok is not None:
+                # Bitfield width: skip to ';'.
+                j = i + 1
+                while j < n and toks[j].text != ";":
+                    j += 1
+                ci.members.append(_make_member(
+                    name_tok, pre_name_type, is_static))
+                return j + 1
+            i += 1
+            continue
+        if t.kind == IDENT:
+            if txt == "operator":
+                # Operator overload declaration/definition: never a
+                # data member; skip the whole statement.
+                return _skip_statement(toks, i, n)
+            if txt == "static":
+                is_static = True
+            elif txt not in _DECL_QUALIFIERS and angle == 0:
+                if name_tok is not None:
+                    pre_name_type.append(name_tok.text)
+                name_tok = t
+            i += 1
+            continue
+        i += 1
+    return n
+
+
+def _finish_initializer(toks: List[Token], i: int, n: int) -> int:
+    """From an '=' token, skip the initializer expression to ';'."""
+    while i < n and toks[i].text != ";":
+        if toks[i].text in ("(", "[", "{"):
+            i = _match_close(toks, i, toks[i].text,
+                             {"(": ")", "[": "]", "{": "}"}[toks[i].text])
+        i += 1
+    return i + 1
+
+
+def _make_member(name_tok: Token, type_parts: List[str],
+                 is_static: bool) -> Member:
+    return Member(name_tok.text, name_tok.line, name_tok.col,
+                  "::".join(type_parts[-2:]), is_static)
+
+
+def _note_mutex(ci: ClassInfo, type_parts: List[str],
+                name: str) -> None:
+    if any(p in _MUTEX_TYPES for p in type_parts):
+        ci.mutex_members.add(name)
+
+
+def _finish_method(path: str, toks: List[Token], model: ProgramModel,
+                   ci: ClassInfo, name_tok: Token, paren_close: int,
+                   n: int, qual: str) -> int:
+    """We are at a method named ``name_tok`` whose parameter list
+    closes at ``paren_close``. Record the declaration; if a body
+    follows, capture it."""
+    ci.method_lines.setdefault(name_tok.text, name_tok.line)
+    j = paren_close + 1
+    # Skip cv-qualifiers, ref-qualifiers, noexcept(...), override,
+    # final, trailing return types, = 0 / = default / = delete.
+    while j < n and toks[j].text not in ("{", ";"):
+        if toks[j].text == "(":
+            j = _match_close(toks, j, "(", ")")
+        j += 1
+    if j < n and toks[j].text == "{":
+        close = _match_close(toks, j, "{", "}")
+        model.bodies.setdefault(path, []).append(MethodBody(
+            qual, name_tok.text, path, name_tok.line, j, close))
+        if close + 1 < n and toks[close + 1].text == ";":
+            return close + 2
+        return close + 1
+    return j + 1
+
+
+# ---------------------------------------------------------------------------
+# Out-of-line method definitions
+# ---------------------------------------------------------------------------
+
+_BODY_INTRO_SKIP = {"const", "noexcept", "override", "final",
+                    "mutable", "->"}
+
+
+def _scan_out_of_line_bodies(path: str, toks: List[Token],
+                             model: ProgramModel) -> None:
+    """Find ``Qualified::name(...) ... { ... }`` definitions at any
+    nesting (namespace bodies are just braces to this scan). In-class
+    definitions are captured by the class scan; this pass skips token
+    ranges already claimed by it."""
+    claimed = [(b.body_lo, b.body_hi)
+               for b in model.bodies.get(path, [])]
+
+    def in_claimed(i: int) -> bool:
+        return any(lo <= i <= hi for lo, hi in claimed)
+
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != IDENT or in_claimed(i):
+            i += 1
+            continue
+        # Longest chain IDENT (:: IDENT)+ followed by '('.
+        j = i
+        parts = [toks[j].text]
+        while j + 2 < n and toks[j + 1].kind == PUNCT and \
+                toks[j + 1].text == "::" and toks[j + 2].kind == IDENT:
+            parts.append(toks[j + 2].text)
+            j += 2
+        if len(parts) < 2 or j + 1 >= n or toks[j + 1].text != "(":
+            i += 1
+            continue
+        close = _match_close(toks, j + 1, "(", ")")
+        k = close + 1
+        while k < n and ((toks[k].kind == IDENT and
+                          toks[k].text in _BODY_INTRO_SKIP) or
+                         (toks[k].kind == PUNCT and
+                          toks[k].text == "->")):
+            if toks[k].text == "->":
+                # Trailing return type: skip its tokens up to '{'.
+                while k < n and toks[k].text != "{":
+                    k += 1
+                break
+            k += 1
+        # Constructor initializer list: ': member(init), ...' between
+        # the parameter list and the body.
+        if k < n and toks[k].kind == PUNCT and toks[k].text == ":":
+            k += 1
+            while k < n and toks[k].text != "{":
+                if toks[k].text == "(":
+                    k = _match_close(toks, k, "(", ")")
+                elif toks[k].text == "{":
+                    break
+                k += 1
+        if k < n and toks[k].text == "{":
+            body_close = _match_close(toks, k, "{", "}")
+            model.bodies.setdefault(path, []).append(MethodBody(
+                "::".join(parts[:-1]), parts[-1], path,
+                toks[i].line, k, body_close))
+            i = body_close + 1
+            continue
+        i = j + 1
+
+
+# ---------------------------------------------------------------------------
+# Build
+# ---------------------------------------------------------------------------
+
+def build_model(streams: Dict[str, List[Token]],
+                comments: Dict[str, List[Comment]]) -> ProgramModel:
+    """Build the whole-program model over every lexed file. Iteration
+    is path-sorted so the model — and everything derived from it — is
+    independent of argument and worker ordering."""
+    model = ProgramModel()
+    model.streams = dict(streams)
+    for path in sorted(streams):
+        toks = streams[path]
+        model.includes[path] = _scan_includes(path, toks)
+        code_lines = {t.line for t in toks}
+        model.annotations[path] = _scan_annotations(
+            path, comments.get(path, []), code_lines)
+        _scan_classes(path, toks, model, 0, len(toks), "")
+        _scan_out_of_line_bodies(path, toks, model)
+        model.bodies.setdefault(path, []).sort(
+            key=lambda b: (b.body_lo, b.method))
+    return model
+
+
+def model_to_json(model: ProgramModel) -> Dict:
+    """Serializable snapshot of the model (CI uploads this as a debug
+    artifact when the lint gate fails)."""
+    return {
+        "classes": {
+            name: [{
+                "path": ci.path,
+                "line": ci.line,
+                "end_line": ci.end_line,
+                "members": [{
+                    "name": m.name, "line": m.line,
+                    "type": m.type_text, "static": m.is_static,
+                } for m in ci.members],
+                "methods": dict(sorted(ci.method_lines.items())),
+                "mutex_members": sorted(ci.mutex_members),
+            } for ci in lst]
+            for name, lst in sorted(model.classes.items())
+        },
+        "bodies": {
+            path: [{
+                "class": b.cls, "method": b.method,
+                "sig_line": b.sig_line,
+            } for b in lst]
+            for path, lst in sorted(model.bodies.items()) if lst
+        },
+        "includes": {
+            path: [{"line": e.line, "target": e.target} for e in lst]
+            for path, lst in sorted(model.includes.items()) if lst
+        },
+        "annotations": {
+            path: [{
+                "kind": a.kind, "args": list(a.args),
+                "reason": a.reason, "line": a.comment_line,
+                "target_line": a.target_line,
+            } for a in lst]
+            for path, lst in sorted(model.annotations.items()) if lst
+        },
+    }

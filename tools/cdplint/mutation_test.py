@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""cdplint mutation self-test for snapshot-completeness.
+
+For each of several real serialized classes, copy the repo's ``src``
+tree to a scratch directory, delete the single line that serializes
+one member in ``saveState``, and assert the analyzer reports exactly
+that member of exactly that class — no more, no less. An analyzer
+that goes quiet on any of these mutations has lost the property the
+rule exists for, no matter how green the fixture corpus is.
+
+The unmutated scratch copy must be clean, so the test also guards the
+annotation set in ``src/`` against rot.
+
+Run directly or via ctest (``cdplint_mutation``).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+CDPLINT = Path(__file__).resolve().parent
+REPO = CDPLINT.parents[1]
+
+_FINDING_RE = re.compile(
+    r"^(?P<path>.+?):(?P<line>\d+):(?P<col>\d+): "
+    r"error\[snapshot-completeness\]: non-static member "
+    r"'(?P<member>\w+)' of (?P<cls>\w+) ")
+
+# (class, file with the saveState body, member, the serialization
+# line to delete — must occur exactly once in that file).
+MUTATIONS = [
+    ("Bus", "src/memsys/bus.cc", "busyUntil",
+     "w.u64(busyUntil);"),
+    ("Cache", "src/memsys/cache.cc", "stamp",
+     "w.u64(stamp);"),
+    ("Gshare", "src/cpu/gshare.cc", "history",
+     "w.u32(history);"),
+    ("Tlb", "src/vm/tlb.cc", "stamp",
+     "w.u64(stamp);"),
+    ("MarkovPrefetcher", "src/prefetch/markov_prefetcher.cc",
+     "havePrev", "w.boolean(havePrev);"),
+    ("QueuedArbiter", "src/memsys/queued_arbiter.cc",
+     "enqueuedCount", "w.u64(enqueuedCount);"),
+    ("AdaptiveVamController", "src/core/adaptive_vam.cc",
+     "issuedInEpoch", "w.u64(issuedInEpoch);"),
+    ("HeapAllocator", "src/workloads/heap_allocator.cc", "mappedTo",
+     "w.u32(mappedTo);"),
+    ("MemorySystem", "src/sim/memory_system.cc", "lastDrain",
+     "w.u64(lastDrain);"),
+]
+
+
+def run_lint(args, cwd):
+    proc = subprocess.run(
+        [sys.executable, str(CDPLINT)] + args,
+        cwd=str(cwd), capture_output=True, text=True)
+    return proc.returncode, proc.stdout, proc.stderr
+
+
+def _copy_src(work: Path) -> Path:
+    dst = work / "src"
+    shutil.copytree(REPO / "src", dst)
+    return dst
+
+
+def _findings(stdout):
+    out = set()
+    for ln in stdout.splitlines():
+        m = _FINDING_RE.match(ln)
+        if m:
+            out.add((m.group("cls"), m.group("member")))
+    return out
+
+
+class MutationKill(unittest.TestCase):
+    def test_unmutated_tree_is_clean(self):
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td)
+            _copy_src(work)
+            code, out, err = run_lint(
+                ["--no-baseline", "--rule", "snapshot-completeness",
+                 "src"], cwd=work)
+            self.assertEqual(code, 0, out + err)
+
+    def test_each_mutant_is_killed(self):
+        for cls, rel, member, stmt in MUTATIONS:
+            with self.subTest(cls=cls, member=member):
+                with tempfile.TemporaryDirectory() as td:
+                    work = Path(td)
+                    _copy_src(work)
+                    target = work / rel
+                    text = target.read_text()
+                    self.assertEqual(
+                        text.count(stmt), 1,
+                        f"{rel}: expected exactly one '{stmt}'")
+                    lines = [ln for ln in
+                             text.splitlines(keepends=True)
+                             if stmt not in ln]
+                    target.write_text("".join(lines))
+                    code, out, err = run_lint(
+                        ["--no-baseline",
+                         "--rule", "snapshot-completeness", "src"],
+                        cwd=work)
+                    self.assertEqual(code, 1, out + err)
+                    self.assertEqual(
+                        _findings(out), {(cls, member)},
+                        f"mutating {cls}.{member} must yield exactly "
+                        f"that finding\n--- output ---\n{out}{err}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

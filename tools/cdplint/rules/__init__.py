@@ -1,9 +1,12 @@
 """Rule catalog: importing this package registers every rule."""
 
-from . import raw_new_delete    # noqa: F401
-from . import static_mutable    # noqa: F401
-from . import cycle_arith       # noqa: F401
-from . import stat_registered   # noqa: F401
-from . import nondeterminism    # noqa: F401
-from . import unordered_output  # noqa: F401
-from . import observer_purity   # noqa: F401
+from . import raw_new_delete          # noqa: F401
+from . import static_mutable          # noqa: F401
+from . import cycle_arith             # noqa: F401
+from . import stat_registered         # noqa: F401
+from . import nondeterminism          # noqa: F401
+from . import unordered_output        # noqa: F401
+from . import observer_purity         # noqa: F401
+from . import snapshot_completeness   # noqa: F401
+from . import include_layering        # noqa: F401
+from . import lock_discipline         # noqa: F401

@@ -1,0 +1,143 @@
+"""include-layering: enforce the DESIGN.md layer DAG structurally.
+
+The tree is layered (DESIGN.md §10): foundation types at the bottom,
+the simulator core in the middle, harnesses and observers on top. An
+include that points up the DAG — or sideways between sibling layers —
+couples modules the architecture says are independent (the
+``obs`` -> ``memsys`` edge PR 4 had to fix by hand is the canonical
+example: an observer that includes simulator internals can no longer
+be proven pure). This rule rejects such edges at lint time.
+
+The DAG below lists each module's *direct* dependencies; legality is
+transitive reachability. Two files are layered by the directory they
+live in under ``src/``, with per-file overrides for the foundation
+headers that deliberately live against their directory's grain:
+``check/check.hh`` (the assert macro, included by common/types.hh)
+and ``snapshot/ckpt_io.hh``/``.cc`` (the serialization primitives
+every saveState body uses) belong to the ``common`` layer even though
+their directories are top-layer.
+
+Files outside ``src/`` (bench, tests, tools) sit above the whole DAG
+and may include anything; includes that do not resolve to a known
+module (system headers, sibling-relative paths) are ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from engine import Finding, SEV_ERROR, rule
+
+# Direct dependencies; see the diagram in DESIGN.md §10. Keep the two
+# in sync — the self-test cross-checks this table against the one in
+# the docs.
+LAYER_DAG: Dict[str, Tuple[str, ...]] = {
+    "common":    (),
+    "mem":       ("common",),
+    "stats":     ("common",),
+    "memsys":    ("mem", "stats"),
+    "vm":        ("memsys",),
+    "check":     ("memsys", "vm"),
+    "core":      ("memsys",),
+    "prefetch":  ("memsys",),
+    "cpu":       ("memsys",),
+    "trace":     ("cpu",),
+    "workloads": ("cpu", "vm"),
+    "obs":       ("common",),
+    "sim":       ("core", "prefetch", "cpu", "vm", "workloads",
+                  "trace", "check", "obs"),
+    "runner":    ("sim",),
+    "snapshot":  ("sim",),
+}
+
+# Foundation files whose layer differs from their directory's.
+FILE_LAYER_OVERRIDES: Dict[str, str] = {
+    "check/check.hh": "common",
+    "snapshot/ckpt_io.hh": "common",
+    "snapshot/ckpt_io.cc": "common",
+}
+
+
+def _closure() -> Dict[str, frozenset]:
+    out: Dict[str, frozenset] = {}
+
+    def visit(mod: str) -> frozenset:
+        if mod in out:
+            return out[mod]
+        acc = set()
+        for dep in LAYER_DAG[mod]:
+            acc.add(dep)
+            acc |= visit(dep)
+        out[mod] = frozenset(acc)
+        return out[mod]
+
+    for mod in LAYER_DAG:
+        visit(mod)
+    return out
+
+
+REACHABLE = _closure()
+
+
+def src_relative(path: str) -> Optional[str]:
+    """The part of ``path`` below its last ``src/`` component, or None
+    when the file is not under a src tree."""
+    parts = path.split("/")
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "src":
+            return "/".join(parts[i + 1:])
+    return None
+
+
+def layer_of_file(path: str) -> Optional[str]:
+    """Module a source file belongs to, or None (unconstrained)."""
+    rel = src_relative(path)
+    if rel is None:
+        return None
+    if rel in FILE_LAYER_OVERRIDES:
+        return FILE_LAYER_OVERRIDES[rel]
+    mod = rel.split("/", 1)[0]
+    return mod if mod in LAYER_DAG else None
+
+
+def layer_of_include(target: str) -> Optional[str]:
+    """Module an include string points into, or None (not ours)."""
+    if target in FILE_LAYER_OVERRIDES:
+        return FILE_LAYER_OVERRIDES[target]
+    mod = target.split("/", 1)[0]
+    return mod if mod in LAYER_DAG else None
+
+
+@rule
+class IncludeLayering:
+    id = "include-layering"
+    severity = SEV_ERROR
+    doc = """An #include that points up or across the DESIGN.md layer
+    DAG (common -> mem/stats -> memsys -> core/prefetch/cpu/vm ->
+    sim -> runner/snapshot, with check/obs as constrained observers)
+    couples modules the architecture keeps independent. Depend
+    downward only; foundation headers (check/check.hh,
+    snapshot/ckpt_io.hh) are common-layer by decree."""
+
+    def check(self, ctx):
+        model = ctx.model
+        if model is None:
+            return
+        src_mod = layer_of_file(ctx.path)
+        if src_mod is None:
+            return  # bench/tests/tools sit above the DAG
+        allowed = REACHABLE[src_mod]
+        for edge in model.includes.get(ctx.path, []):
+            tgt_mod = layer_of_include(edge.target)
+            if tgt_mod is None or tgt_mod == src_mod or \
+                    tgt_mod in allowed:
+                continue
+            direction = "upward" if src_mod in REACHABLE[tgt_mod] \
+                else "cross-layer"
+            ok = ", ".join(sorted(allowed)) or "(nothing)"
+            yield Finding(
+                self.id, ctx.path, edge.line, 1,
+                f"{direction} include: layer '{src_mod}' may not "
+                f"include '{edge.target}' (layer '{tgt_mod}'); "
+                f"'{src_mod}' may depend on: {ok}. See the layer "
+                "DAG in DESIGN.md §10")

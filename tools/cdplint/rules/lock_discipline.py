@@ -1,0 +1,283 @@
+"""lock-discipline: annotated members are only touched under their lock.
+
+The work-stealing pool in src/runner is the one place the simulator
+is genuinely concurrent, and its correctness argument is simple: a
+handful of members are only ever accessed with ``mtx`` held. TSan
+checks that argument dynamically — when a schedule happens to race.
+This rule checks it lexically, with zero execution: a member declared
+
+    std::mutex mtx;
+    std::size_t inflight = 0; // cdplint: guarded_by(mtx)
+
+may only be referenced, inside the owning class's member-function
+bodies, at a point where a ``std::lock_guard`` / ``unique_lock`` /
+``scoped_lock`` of ``mtx`` constructed in an enclosing scope is still
+alive, or after a bare ``mtx.lock()`` without an intervening
+``mtx.unlock()``. Functions whose *contract* is "caller holds the
+lock" say so at the definition:
+
+    // cdplint: requires_lock(mtx)
+    bool ThreadPool::takeTask(...)
+
+and their whole body is treated as locked.
+
+This is a deliberate heuristic, not a thread-safety proof (that is
+what the TSan CI job is for): it does not model lock transfer,
+``condition_variable::wait``'s unlock window, or aliasing through
+references. What it does catch — cheaply, on every lint run — is the
+common regression: a new method (or a quick fix in an old one)
+reading a guarded member with no lock in sight. Accesses through
+*other* objects (``other.inflight``) and from free functions are out
+of scope; single-threaded phases (a constructor running before any
+worker exists) use an ``allow(lock-discipline)`` suppression with the
+reason spelled out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT
+
+_GUARD_CLASSES = {"lock_guard", "unique_lock", "scoped_lock",
+                  "shared_lock"}
+
+
+def _guarded_members(model, ci) -> Dict[str, Tuple[str, object]]:
+    """member name -> (mutex name, annotation) for guarded_by
+    annotations attached to this class's member declarations."""
+    out: Dict[str, Tuple[str, object]] = {}
+    by_line = {m.line: m for m in ci.members}
+    for a in model.annotations.get(ci.path, []):
+        if a.kind != "guarded_by":
+            continue
+        m = by_line.get(a.target_line)
+        if m is None or not (ci.line <= a.target_line <= ci.end_line):
+            continue
+        if a.args:
+            out[m.name] = (a.args[0], a)
+    return out
+
+
+def _requires_locks(model, path: str, body,
+                    body_open_line: int) -> Set[str]:
+    """Mutexes a requires_lock annotation on this definition's
+    signature lines declares held."""
+    held: Set[str] = set()
+    for a in model.annotations.get(path, []):
+        if a.kind != "requires_lock":
+            continue
+        if body.sig_line <= a.target_line <= body_open_line:
+            held.update(a.args)
+    return held
+
+
+class _Scope:
+    """Active lock tracking while walking one body lexically."""
+
+    def __init__(self, pre_held: Set[str]):
+        self.pre_held = pre_held
+        self.guards: List[Tuple[str, int, bool]] = []  # (mutex, depth, manual)
+
+    def holds(self, mutex: str) -> bool:
+        return mutex in self.pre_held or \
+            any(g[0] == mutex for g in self.guards)
+
+    def close_to(self, depth: int) -> None:
+        self.guards = [g for g in self.guards if g[1] <= depth]
+
+
+@rule
+class LockDiscipline:
+    id = "lock-discipline"
+    severity = SEV_ERROR
+    doc = """A member annotated '// cdplint: guarded_by(mtx)' next to
+    its std::mutex may only be used inside a scope holding that mutex
+    (a lock_guard/unique_lock/scoped_lock in an enclosing scope, a
+    bare .lock(), or a body marked '// cdplint: requires_lock(mtx)').
+    A zero-execution complement to the TSan job for src/runner's
+    work-stealing pool."""
+
+    def check(self, ctx):
+        model = ctx.model
+        if model is None:
+            return
+        yield from self._annotation_hygiene(ctx, model)
+        for body in model.bodies.get(ctx.path, []):
+            ci = self._owner(model, body)
+            if ci is None:
+                continue
+            guarded = _guarded_members(model, ci)
+            if not guarded:
+                continue
+            yield from self._check_body(ctx, model, ci, body, guarded)
+
+    # -- annotation validation (anchored where the annotation is) -------
+
+    def _annotation_hygiene(self, ctx, model):
+        classes = model.classes_in(ctx.path)
+        body_sig_ranges = []
+        for b in model.bodies.get(ctx.path, []):
+            open_line = ctx.tokens[b.body_lo].line \
+                if b.body_lo < len(ctx.tokens) else b.sig_line
+            body_sig_ranges.append((b.sig_line, open_line))
+        for a in model.annotations.get(ctx.path, []):
+            if a.kind == "guarded_by":
+                if len(a.args) != 1:
+                    yield Finding(
+                        self.id, ctx.path, a.comment_line, 1,
+                        "guarded_by takes exactly one mutex member")
+                    continue
+                owner = next(
+                    (ci for ci in classes
+                     if ci.line <= a.target_line <= ci.end_line and
+                     any(m.line == a.target_line
+                         for m in ci.members)), None)
+                if owner is None:
+                    yield Finding(
+                        self.id, ctx.path, a.comment_line, 1,
+                        "guarded_by must sit on a data-member "
+                        "declaration inside a class body")
+                elif a.args[0] not in owner.mutex_members:
+                    yield Finding(
+                        self.id, ctx.path, a.comment_line, 1,
+                        f"guarded_by('{a.args[0]}') names no mutex "
+                        f"member of {owner.name}")
+            elif a.kind == "requires_lock":
+                if not any(lo <= a.target_line <= hi
+                           for lo, hi in body_sig_ranges):
+                    yield Finding(
+                        self.id, ctx.path, a.comment_line, 1,
+                        "requires_lock must sit on a function "
+                        "definition's signature")
+
+    # -- body walk -------------------------------------------------------
+
+    def _owner(self, model, body):
+        lst = model.classes.get(body.cls)
+        if not lst:
+            short = body.cls.rsplit("::", 1)[-1]
+            for name in sorted(model.classes):
+                if name.rsplit("::", 1)[-1] == short:
+                    lst = model.classes[name]
+                    break
+        if not lst:
+            return None
+        for ci in lst:
+            if ci.path == body.path:
+                return ci
+        stem = body.path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        for ci in lst:
+            if ci.path.rsplit("/", 1)[-1].rsplit(".", 1)[0] == stem:
+                return ci
+        return lst[0]
+
+    def _check_body(self, ctx, model, ci, body, guarded):
+        toks = ctx.tokens
+        open_line = toks[body.body_lo].line
+        scope = _Scope(_requires_locks(model, ctx.path, body,
+                                       open_line))
+        depth = 0
+        j = body.body_lo
+        n = min(body.body_hi + 1, len(toks))
+        while j < n:
+            t = toks[j]
+            if t.kind == PUNCT:
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    scope.close_to(depth)
+                j += 1
+                continue
+            if t.kind != IDENT:
+                j += 1
+                continue
+            # Guard-object construction:
+            #   std::lock_guard<std::mutex> lk(mtx);
+            if t.text in _GUARD_CLASSES:
+                j = self._consume_guard(toks, j, n, depth, scope)
+                continue
+            # Bare mtx.lock() / mtx.unlock().
+            if j + 2 < n and toks[j + 1].kind == PUNCT and \
+                    toks[j + 1].text == "." and \
+                    toks[j + 2].kind == IDENT and \
+                    toks[j + 2].text in ("lock", "unlock"):
+                if toks[j + 2].text == "lock":
+                    scope.guards.append((t.text, depth, True))
+                else:
+                    for k in range(len(scope.guards) - 1, -1, -1):
+                        if scope.guards[k][0] == t.text and \
+                                scope.guards[k][2]:
+                            del scope.guards[k]
+                            break
+                j += 3
+                continue
+            # Guarded-member use?
+            if t.text in guarded:
+                prev = toks[j - 1] if j > 0 else None
+                if prev is not None and prev.kind == PUNCT and \
+                        prev.text in (".", "->"):
+                    base = toks[j - 2] if j >= 2 else None
+                    if not (base is not None and base.kind == IDENT
+                            and base.text == "this"):
+                        j += 1
+                        continue
+                nxt = toks[j + 1] if j + 1 < n else None
+                if nxt is not None and nxt.kind == PUNCT and \
+                        nxt.text == "::":
+                    j += 1
+                    continue
+                mutex = guarded[t.text][0]
+                if not scope.holds(mutex):
+                    yield Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        f"member '{t.text}' of {ci.name} is "
+                        f"guarded_by({mutex}) but this use in "
+                        f"{body.cls}::{body.method} holds no lock "
+                        f"of '{mutex}'")
+            j += 1
+
+    def _consume_guard(self, toks, j, n, depth, scope) -> int:
+        """From a lock_guard/unique_lock/... token, record the mutexes
+        named in its constructor arguments as held at ``depth``."""
+        k = j + 1
+        # Template argument list.
+        if k < n and toks[k].kind == PUNCT and toks[k].text == "<":
+            adepth = 0
+            while k < n:
+                if toks[k].text == "<":
+                    adepth += 1
+                elif toks[k].text == ">":
+                    adepth -= 1
+                    if adepth == 0:
+                        break
+                elif toks[k].text == ">>":
+                    adepth -= 2
+                    if adepth <= 0:
+                        break
+                k += 1
+            k += 1
+        # Variable name.
+        if k < n and toks[k].kind == IDENT:
+            k += 1
+        if k >= n or toks[k].kind != PUNCT or \
+                toks[k].text not in ("(", "{"):
+            return j + 1  # a mention, not a construction
+        closer = ")" if toks[k].text == "(" else "}"
+        opener = toks[k].text
+        pdepth = 0
+        k2 = k
+        while k2 < n:
+            if toks[k2].kind == PUNCT:
+                if toks[k2].text == opener:
+                    pdepth += 1
+                elif toks[k2].text == closer:
+                    pdepth -= 1
+                    if pdepth == 0:
+                        break
+            elif toks[k2].kind == IDENT:
+                scope.guards.append((toks[k2].text, depth, False))
+            k2 += 1
+        return k2 + 1

@@ -28,7 +28,7 @@ class RawNewDelete:
             nxt = toks[i + 1] if i + 1 < n else None
             if t.text == "new":
                 # `new (addr) T` placement syntax was historically
-                # exempt (lint_sim.py); keep that port exact.
+                # exempt; keep that port exact.
                 if nxt is not None and nxt.kind == PUNCT and \
                         nxt.text == "(":
                     continue

@@ -1,0 +1,187 @@
+"""snapshot-completeness: every member travels in every checkpoint.
+
+The PR 5 checkpoint contract (DESIGN.md §11) is enforced dynamically
+by the differential-equivalence net, but a *new* data member added to
+a serialized class is only caught if some fuzz seed happens to give
+it a value that changes downstream behaviour before and after a
+restore. This rule turns the contract into a compile-gate:
+
+For every class that defines ``saveState``, every non-static data
+member must be referenced in both the ``saveState`` and ``loadState``
+bodies — wherever those bodies live; the cross-TU model pairs a
+header's member list with the .cc that serializes it — and the first
+references must occur in the same order in both directions, so the
+write and read sides cannot silently disagree on the wire layout.
+
+Deliberately unserialized members carry an annotation in the class
+body:
+
+    // cdplint: transient(member[, member...]) -- reason
+
+The reason is mandatory. A transient annotation that has stopped
+doing anything — the member is serialized after all, or no longer
+exists, or the class no longer defines saveState — is itself an
+error, so annotations cannot rot (same policy as suppressions).
+
+References are lexical: an identifier token equal to the member name,
+not behind ``obj.`` / ``obj->`` (uses through *other* objects touch
+that object's member), with ``this->member`` counted. A member
+serialized only through a helper that takes it by reference still
+counts — the call site names it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT
+
+
+def _first_refs(toks, lo: int, hi: int, names) -> Dict[str, int]:
+    """Map member name -> token index of its first reference inside
+    toks(lo, hi) (exclusive of the braces themselves)."""
+    out: Dict[str, int] = {}
+    for j in range(lo + 1, hi):
+        t = toks[j]
+        if t.kind != IDENT or t.text not in names:
+            continue
+        prev = toks[j - 1] if j > 0 else None
+        if prev is not None and prev.kind == PUNCT and \
+                prev.text in (".", "->"):
+            base = toks[j - 2] if j >= 2 else None
+            if not (base is not None and base.kind == IDENT and
+                    base.text == "this"):
+                continue  # someone else's member
+        nxt = toks[j + 1] if j + 1 < hi else None
+        if nxt is not None and nxt.kind == PUNCT and nxt.text == "::":
+            continue  # qualifier, not a data-member use
+        out.setdefault(t.text, j)
+    return out
+
+
+def _pick_body(bodies: List, cls_path: str):
+    """Prefer the body in the class's own file (inline), then one in
+    a file with the same stem (the conventional .hh/.cc pair), then
+    the path-sorted first."""
+    if not bodies:
+        return None
+    for b in bodies:
+        if b.path == cls_path:
+            return b
+    stem = cls_path.rsplit("/", 1)[-1].rsplit(".", 1)[0]
+    for b in bodies:
+        if b.path.rsplit("/", 1)[-1].rsplit(".", 1)[0] == stem:
+            return b
+    return bodies[0]
+
+
+@rule
+class SnapshotCompleteness:
+    id = "snapshot-completeness"
+    severity = SEV_ERROR
+    doc = """A class that defines saveState must reference every
+    non-static data member in both saveState and loadState, in the
+    same order, or declare the member
+    '// cdplint: transient(member) -- reason'. Catches the silent
+    checkpoint corruption of adding a member and forgetting the
+    serializers; stale transient annotations are errors too."""
+
+    def check(self, ctx):
+        model = ctx.model
+        if model is None:
+            return
+        for ci in model.classes_in(ctx.path):
+            yield from self._check_class(ctx, model, ci)
+
+    # -- per-class -------------------------------------------------------
+
+    def _check_class(self, ctx, model, ci):
+        transients = model.class_transients(ci)
+        save = _pick_body(model.find_bodies(ci.name, "saveState"),
+                          ci.path)
+        if save is None:
+            # Not a serialized class; any transient annotation in it
+            # is dead weight.
+            for name, a in sorted(transients.items()):
+                yield Finding(
+                    self.id, ctx.path, a.comment_line, 1,
+                    f"transient('{name}') is stale: {ci.name} does "
+                    "not define saveState, so the annotation "
+                    "suppresses nothing; delete it")
+            return
+        load = _pick_body(model.find_bodies(ci.name, "loadState"),
+                          ci.path)
+        members = ci.data_members()
+        names = {m.name for m in members}
+
+        if load is None:
+            yield Finding(
+                self.id, ctx.path, ci.line, 1,
+                f"{ci.name} defines saveState but no loadState body "
+                "was found; a checkpoint no reader can consume is a "
+                "write-only format")
+            return
+
+        save_toks = self._toks_of(ctx, model, save)
+        load_toks = self._toks_of(ctx, model, load)
+        if save_toks is None or load_toks is None:
+            return  # body file outside the lint run; nothing to pair
+        save_refs = _first_refs(save_toks, save.body_lo, save.body_hi,
+                                names)
+        load_refs = _first_refs(load_toks, load.body_lo, load.body_hi,
+                                names)
+
+        for m in members:
+            if m.name in transients:
+                continue
+            missing = [side for side, refs in
+                       (("saveState", save_refs),
+                        ("loadState", load_refs))
+                       if m.name not in refs]
+            if missing:
+                yield Finding(
+                    self.id, ctx.path, m.line, m.col,
+                    f"non-static member '{m.name}' of {ci.name} is "
+                    f"not referenced in {' or '.join(missing)} "
+                    f"({save.path}); serialize it or annotate "
+                    f"'// cdplint: transient({m.name}) -- reason'")
+
+        # Order: members present in both sides, in first-reference
+        # order, must agree.
+        both = [m.name for m in members
+                if m.name in save_refs and m.name in load_refs and
+                m.name not in transients]
+        save_seq = sorted(both, key=lambda nm: save_refs[nm])
+        load_seq = sorted(both, key=lambda nm: load_refs[nm])
+        if save_seq != load_seq:
+            bad = next(nm for a, b in zip(save_seq, load_seq)
+                       for nm in (a,) if a != b)
+            m = ci.member(bad)
+            yield Finding(
+                self.id, ctx.path,
+                m.line if m else ci.line, m.col if m else 1,
+                f"{ci.name} serializes its members in different "
+                f"orders: saveState writes {', '.join(save_seq)} but "
+                f"loadState reads {', '.join(load_seq)}; the wire "
+                "layout must be read back exactly as written")
+
+        # Stale / dangling transients.
+        for name, a in sorted(transients.items()):
+            if name not in names:
+                yield Finding(
+                    self.id, ctx.path, a.comment_line, 1,
+                    f"transient('{name}') names no non-static data "
+                    f"member of {ci.name}; fix the name or delete "
+                    "the annotation")
+            elif name in save_refs and name in load_refs:
+                yield Finding(
+                    self.id, ctx.path, a.comment_line, 1,
+                    f"transient('{name}') is stale: '{name}' is "
+                    "referenced by both saveState and loadState; "
+                    "delete the annotation")
+
+    def _toks_of(self, ctx, model, body):
+        if body.path == ctx.path:
+            return ctx.tokens
+        return model.streams.get(body.path) if model.streams else None

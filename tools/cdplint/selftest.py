@@ -32,9 +32,12 @@ _FINDING_RE = re.compile(
 # the suppression/waiver machinery (which is rule-agnostic) engages.
 RULE_GROUPS = [
     "cycle-arith",
+    "include-layering",
+    "lock-discipline",
     "nondeterminism",
     "observer-purity",
     "raw-new-delete",
+    "snapshot-completeness",
     "stat-registered",
     "static-mutable",
     "unordered-output",
@@ -230,6 +233,61 @@ class AcceptanceScratch(unittest.TestCase):
             code, out, _ = run_lint(
                 ["--no-baseline", "scratch"], cwd=work)
             self.assertEqual(code, 0, out)
+
+
+class JobsDeterminism(unittest.TestCase):
+    """Output (text and SARIF bytes) is identical at any --jobs
+    count; only the stderr timing line may differ."""
+
+    def test_jobs_do_not_change_output(self):
+        gdir = FIXTURES / "snapshot-completeness"
+        runs = {}
+        with tempfile.TemporaryDirectory() as td:
+            for jobs in ("1", "4"):
+                sarif = Path(td) / f"out-{jobs}.sarif"
+                code, out, _ = run_lint(
+                    ["--no-baseline", "--rule", "snapshot-completeness",
+                     "--jobs", jobs, "--sarif", str(sarif), "src"],
+                    cwd=gdir)
+                runs[jobs] = (code, out, sarif.read_bytes())
+        self.assertEqual(runs["1"][0], runs["4"][0])
+        self.assertEqual(runs["1"][1], runs["4"][1],
+                         "text output must not depend on --jobs")
+        self.assertEqual(runs["1"][2], runs["4"][2],
+                         "SARIF bytes must not depend on --jobs")
+
+
+class LayerDagMatchesDocs(unittest.TestCase):
+    """The DAG the rule enforces and the one DESIGN.md documents are
+    the same table; an edit to either without the other fails here."""
+
+    _EDGE_RE = re.compile(r"^\s*([a-z]+)\s*->\s*(.*?)\s*$")
+
+    def _docs_dag(self):
+        text = (REPO / "DESIGN.md").read_text()
+        begin, end = "<!-- layer-dag -->", "<!-- /layer-dag -->"
+        self.assertIn(begin, text,
+                      "DESIGN.md lost its layer-dag block")
+        self.assertIn(end, text,
+                      "DESIGN.md lost its layer-dag end marker")
+        block = text.split(begin)[1].split(end)[0]
+        dag = {}
+        for ln in block.splitlines():
+            m = self._EDGE_RE.match(ln)
+            if not m:
+                continue
+            deps = tuple(d for d in
+                         re.split(r"[,\s]+", m.group(2)) if d)
+            dag[m.group(1)] = deps
+        return dag
+
+    def test_rule_table_matches_design_md(self):
+        sys.path.insert(0, str(CDPLINT))
+        try:
+            from rules.include_layering import LAYER_DAG
+        finally:
+            sys.path.pop(0)
+        self.assertEqual(self._docs_dag(), dict(LAYER_DAG))
 
 
 class CliSurface(unittest.TestCase):

@@ -51,6 +51,7 @@ MemorySystem::MemorySystem(const SimConfig &cfg, BackingStore &store,
                      "chain depth of issued content prefetches", 0, 16,
                      16)
 {
+    cdpDepthHighWater = std::max(cfg.cdp.depthThreshold, 1u);
     StatGroup &sg = stats ? *stats : dummyStatGroup;
     // StatGroup keeps raw pointers into provFormulas; reserve the
     // exact count so emplace_back can never reallocate them away.
@@ -139,6 +140,8 @@ void
 MemorySystem::reconfigureCdp(const CdpConfig &new_cfg)
 {
     cfg.cdp = new_cfg;
+    cdpDepthHighWater =
+        std::max(cdpDepthHighWater, new_cfg.depthThreshold);
     cdp.reconfigure(new_cfg);
 }
 
@@ -148,11 +151,13 @@ MemorySystem::checkInvariants() const
 #if CDP_CHECKS_ENABLED
     // Depth tags (Section 3.4.2): content chains stop at the
     // configured threshold; stride prefetches carry depth 1; the DL1
-    // never stores a depth at all.
-    const unsigned maxDepth = std::max(cfg.cdp.depthThreshold, 1u);
+    // never stores a depth at all. Resident lines and in-flight
+    // entries keep the depth they were created with across a sweep's
+    // reconfigureCdp(), so the bound is the depth high-water mark.
+    const unsigned maxDepth = std::max(cdpDepthHighWater, 1u);
     check::auditCache(dl1, 0, "dl1");
     check::auditCache(ul2, maxDepth, "ul2");
-    check::auditMshr(mshrs, cfg.cdp.depthThreshold, "mshr");
+    check::auditMshr(mshrs, cdpDepthHighWater, "mshr");
     check::auditArbiter(l2Arbiter, "l2arb");
     check::auditTlb(dataTlb, pageTable, "dtlb");
 
@@ -865,6 +870,7 @@ MemorySystem::saveState(snap::Writer &w) const
     w.u64(rescanDebt);
     w.u64(nextReqId);
     w.u64(checkTick);
+    w.u64(cdpDepthHighWater);
     w.rng(pollutionRng);
 
 #define CDP_SAVE_COUNTER(f) w.u64(ctr.f);
@@ -916,6 +922,10 @@ MemorySystem::loadState(snap::Reader &r)
     rescanDebt = static_cast<unsigned>(r.u64());
     nextReqId = static_cast<ReqId>(r.u64());
     checkTick = r.u64();
+    // Max-merge rather than overwrite: the live machine may already
+    // have configured a deeper threshold than the checkpointed one.
+    cdpDepthHighWater = std::max(
+        cdpDepthHighWater, static_cast<unsigned>(r.u64()));
     r.rng(pollutionRng);
 
 #define CDP_LOAD_COUNTER(f) ctr.f = r.u64();

@@ -280,6 +280,12 @@ class MemorySystem : public CoreMemIf
     unsigned rescanDebt = 0; //!< rescans consume L2 drain slots
     ReqId nextReqId = 1;
     std::uint64_t checkTick = 0; //!< advance() calls, for audit pacing
+    /** Deepest cdp depthThreshold this machine has ever run with —
+     *  including thresholds inherited through a checkpoint. Resident
+     *  lines keep the depth tag they were filled with across
+     *  reconfigureCdp(), so structure audits must bound depths by the
+     *  high-water mark, not the current config. */
+    unsigned cdpDepthHighWater = 1;
     Rng pollutionRng;
     // cdplint: transient(pollutionSpan) -- derived from the backing-store span at construction
     Addr pollutionSpan = 0; //!< physical span to pick bad lines from

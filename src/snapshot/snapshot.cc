@@ -102,6 +102,7 @@ Simulator::quiesce()
     memsys->drainAll(cpu->currentCycle());
 }
 
+// cdplint: requires_quiesced(memsys)
 void
 Simulator::saveCheckpoint(std::ostream &os) const
 {
@@ -203,6 +204,7 @@ Simulator::restoreCheckpoint(std::istream &is)
     memsys->checkInvariants();
 }
 
+// cdplint: requires_quiesced(memsys)
 void
 Simulator::saveCheckpointFile(const std::string &path) const
 {

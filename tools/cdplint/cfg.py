@@ -1,0 +1,545 @@
+"""Per-function control-flow graphs for cdplint.
+
+PR 4's rules see one token stream, PR 6's see whole-program
+structure; neither can see *flow* — which is exactly where the defect
+classes that have actually bitten this repo live (a moved-from buffer
+read on the retry path, a lock released on one early return but not
+the other, a switch that stopped being exhaustive when an enumerator
+was added). This module builds a basic-block CFG for one function
+body straight from the lexed token stream, with no AST in between:
+
+  - a Block is a list of *statement* token ranges ``[lo, hi)`` into
+    the file's token stream, executed linearly;
+  - edges model ``if``/``else``, ``while``/``do``/``for`` (classic
+    and range-based), ``switch`` with fallthrough and ``default``,
+    ``break``/``continue``, ``return``/``throw``, and ``try``/
+    ``catch``;
+  - everything else is *conservatively widened* rather than
+    misparsed: short-circuit ``&&``/``||`` and ``?:`` stay inside
+    their statement (a rule sees their operands in source order),
+    lambda bodies are kept inline in the statement that creates them,
+    ``goto`` is treated as a function exit, and preprocessor
+    conditionals are ignored (both arms look sequential). Each
+    widening is recorded in ``Cfg.widened`` so rules can refuse to
+    conclude anything subtle about such a body. The contract is
+    documented in DESIGN.md §10.
+
+The parser trusts the lexer's token classification, so strings,
+comments and char literals can never open a fake block. Construction
+is O(tokens) and pure: the same stream yields the same CFG, which
+keeps ``--jobs`` output byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from lexer import IDENT, PP, PUNCT, Token
+
+# Statement keywords with dedicated structure.
+_JUMPS = {"return", "break", "continue", "goto", "throw"}
+
+
+@dataclass
+class CaseLabel:
+    """One ``case X:`` / ``default:`` label of a switch."""
+    tok: int                      # token index of 'case' / 'default'
+    line: int
+    col: int
+    is_default: bool
+    enum_name: Optional[str] = None   # 'ReqType' for case ReqType::X:
+    enumerator: Optional[str] = None  # 'X'
+
+
+@dataclass
+class SwitchInfo:
+    """Structural record of one switch statement (exhaustive-switch
+    consumes these; the blocks themselves carry the flow)."""
+    tok: int                      # token index of 'switch'
+    line: int
+    col: int
+    subject: Tuple[int, int]      # token range of '(subject)'
+    body: Tuple[int, int]         # token range of '{...}' (or stmt)
+    cases: List[CaseLabel] = field(default_factory=list)
+
+    @property
+    def default(self) -> Optional[CaseLabel]:
+        for c in self.cases:
+            if c.is_default:
+                return c
+        return None
+
+
+@dataclass
+class Block:
+    bid: int
+    stmts: List[Tuple[int, int]] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+@dataclass
+class Cfg:
+    blocks: List[Block]
+    entry: int
+    exit: int
+    switches: List[SwitchInfo]
+    widened: Set[str]             # constructs modeled conservatively
+
+    def block(self, bid: int) -> Block:
+        return self.blocks[bid]
+
+    def reachable(self) -> Set[int]:
+        """Block ids reachable from entry."""
+        seen = {self.entry}
+        work = deque([self.entry])
+        while work:
+            b = work.popleft()
+            for s in self.blocks[b].succs:
+                if s not in seen:
+                    seen.add(s)
+                    work.append(s)
+        return seen
+
+    def rpo(self) -> List[int]:
+        """Reverse post-order over reachable blocks (stable)."""
+        seen: Set[int] = set()
+        post: List[int] = []
+
+        def visit(b: int) -> None:
+            stack = [(b, 0)]
+            seen.add(b)
+            while stack:
+                bid, i = stack.pop()
+                succs = self.blocks[bid].succs
+                if i < len(succs):
+                    stack.append((bid, i + 1))
+                    s = succs[i]
+                    if s not in seen:
+                        seen.add(s)
+                        stack.append((s, 0))
+                else:
+                    post.append(bid)
+
+        visit(self.entry)
+        return list(reversed(post))
+
+
+class _Builder:
+    def __init__(self, toks: List[Token], lo: int, hi: int):
+        self.toks = toks
+        self.hi = min(hi, len(toks))
+        self.blocks: List[Block] = []
+        self.switches: List[SwitchInfo] = []
+        self.widened: Set[str] = set()
+        self.entry = self._new()
+        self.exit = self._new()
+
+    # -- plumbing -------------------------------------------------------
+
+    def _new(self) -> int:
+        b = Block(len(self.blocks))
+        self.blocks.append(b)
+        return b.bid
+
+    def _edge(self, a: Optional[int], b: int) -> None:
+        if a is None:
+            return
+        if b not in self.blocks[a].succs:
+            self.blocks[a].succs.append(b)
+            self.blocks[b].preds.append(a)
+
+    def _stmt(self, cur: Optional[int], lo: int, hi: int
+              ) -> Optional[int]:
+        """Append toks[lo:hi) as one linear statement. Dead code after
+        a jump still gets a (predecessor-less) block, so rules can
+        distinguish 'unreachable' from 'nonexistent'."""
+        if hi <= lo:
+            return cur
+        if cur is None:
+            cur = self._new()
+        self.blocks[cur].stmts.append((lo, hi))
+        return cur
+
+    def _match(self, i: int, opener: str, closer: str) -> int:
+        depth = 0
+        j = i
+        while j < self.hi:
+            t = self.toks[j]
+            if t.kind == PUNCT:
+                if t.text == opener:
+                    depth += 1
+                elif t.text == closer:
+                    depth -= 1
+                    if depth == 0:
+                        return j
+            j += 1
+        return self.hi
+
+    def _stmt_end(self, i: int) -> int:
+        """Index just past the ';' terminating a plain statement
+        starting at ``i`` (balancing every bracket kind, so lambdas
+        and init-lists stay inside their statement)."""
+        j = i
+        while j < self.hi:
+            t = self.toks[j]
+            if t.kind == PUNCT:
+                if t.text == "(":
+                    j = self._match(j, "(", ")")
+                elif t.text == "[":
+                    j = self._match(j, "[", "]")
+                elif t.text == "{":
+                    j = self._match(j, "{", "}")
+                elif t.text == ";":
+                    return j + 1
+            j += 1
+        return self.hi
+
+    # -- statement sequence ---------------------------------------------
+
+    def seq(self, lo: int, hi: int, cur: Optional[int],
+            ctx: Dict[str, Optional[int]]) -> Optional[int]:
+        """Build the CFG for the statements in toks[lo:hi); returns
+        the open block at the end (None if every path jumped away)."""
+        i = lo
+        while i < hi:
+            i, cur = self.parse_stmt(i, hi, cur, ctx)
+        return cur
+
+    def parse_stmt(self, i: int, hi: int, cur: Optional[int],
+                   ctx: Dict[str, Optional[int]]
+                   ) -> Tuple[int, Optional[int]]:
+        t = self.toks[i]
+
+        if t.kind == PP:
+            # #if/#else arms both look sequential; note the widening
+            # only for *conditional* directives (includes/defines do
+            # not affect flow).
+            if t.text.lstrip("# \t").startswith(("if", "el", "endif")):
+                self.widened.add("preprocessor-conditional")
+            return i + 1, cur
+
+        if t.kind == PUNCT:
+            if t.text == ";":
+                return i + 1, cur
+            if t.text == "{":
+                close = self._match(i, "{", "}")
+                cur = self.seq(i + 1, close, cur, ctx)
+                return close + 1, cur
+
+        if t.kind == IDENT:
+            if t.text == "if":
+                return self.parse_if(i, hi, cur, ctx)
+            if t.text == "while":
+                return self.parse_while(i, hi, cur, ctx)
+            if t.text == "do":
+                return self.parse_do(i, hi, cur, ctx)
+            if t.text == "for":
+                return self.parse_for(i, hi, cur, ctx)
+            if t.text == "switch":
+                return self.parse_switch(i, hi, cur, ctx)
+            if t.text == "try":
+                return self.parse_try(i, hi, cur, ctx)
+            if t.text in _JUMPS:
+                return self.parse_jump(i, hi, cur, ctx)
+
+        end = self._stmt_end(i)
+        cur = self._stmt(cur, i, end)
+        return end, cur
+
+    # -- structured statements ------------------------------------------
+
+    def _cond(self, i: int, cur: Optional[int]
+              ) -> Tuple[int, Optional[int]]:
+        """Append the parenthesized condition after keyword index
+        ``i`` to ``cur``; returns (index past ')', cur)."""
+        j = i + 1
+        # 'if constexpr (...)'
+        if j < self.hi and self.toks[j].kind == IDENT and \
+                self.toks[j].text == "constexpr":
+            j += 1
+        if j >= self.hi or self.toks[j].text != "(":
+            return i + 1, cur  # malformed; resync
+        close = self._match(j, "(", ")")
+        cur = self._stmt(cur, j, close + 1)
+        return close + 1, cur
+
+    def parse_if(self, i: int, hi: int, cur: Optional[int],
+                 ctx: Dict[str, Optional[int]]
+                 ) -> Tuple[int, Optional[int]]:
+        j, cur = self._cond(i, cur)
+        then_in = self._new()
+        self._edge(cur, then_in)
+        j, then_out = self.parse_stmt(j, hi, then_in, ctx)
+        else_out: Optional[int] = cur
+        if j < hi and self.toks[j].kind == IDENT and \
+                self.toks[j].text == "else":
+            else_in = self._new()
+            self._edge(cur, else_in)
+            j, else_out = self.parse_stmt(j + 1, hi, else_in, ctx)
+        join = self._new()
+        self._edge(then_out, join)
+        self._edge(else_out, join)
+        return j, join
+
+    def parse_while(self, i: int, hi: int, cur: Optional[int],
+                    ctx: Dict[str, Optional[int]]
+                    ) -> Tuple[int, Optional[int]]:
+        head = self._new()
+        self._edge(cur, head)
+        j, _ = self._cond(i, head)
+        join = self._new()
+        body_in = self._new()
+        self._edge(head, body_in)
+        self._edge(head, join)  # condition may be false immediately
+        inner = dict(ctx, **{"break": join, "continue": head})
+        j, body_out = self.parse_stmt(j, hi, body_in, inner)
+        self._edge(body_out, head)
+        return j, join
+
+    def parse_do(self, i: int, hi: int, cur: Optional[int],
+                 ctx: Dict[str, Optional[int]]
+                 ) -> Tuple[int, Optional[int]]:
+        body_in = self._new()
+        self._edge(cur, body_in)
+        cond = self._new()
+        join = self._new()
+        inner = dict(ctx, **{"break": join, "continue": cond})
+        j, body_out = self.parse_stmt(i + 1, hi, body_in, inner)
+        self._edge(body_out, cond)
+        if j < hi and self.toks[j].kind == IDENT and \
+                self.toks[j].text == "while":
+            j, _ = self._cond(j, cond)
+            if j < hi and self.toks[j].text == ";":
+                j += 1
+        self._edge(cond, body_in)
+        self._edge(cond, join)
+        return j, join
+
+    def parse_for(self, i: int, hi: int, cur: Optional[int],
+                  ctx: Dict[str, Optional[int]]
+                  ) -> Tuple[int, Optional[int]]:
+        j = i + 1
+        if j >= self.hi or self.toks[j].text != "(":
+            return i + 1, cur
+        close = self._match(j, "(", ")")
+        # Split the header on top-level ';' — two of them: classic
+        # for(init;cond;inc). A range-for has none.
+        semis = []
+        depth = 0
+        for k in range(j + 1, close):
+            tt = self.toks[k]
+            if tt.kind != PUNCT:
+                continue
+            if tt.text in "([{":
+                depth += 1
+            elif tt.text in ")]}":
+                depth -= 1
+            elif tt.text == ";" and depth == 0:
+                semis.append(k)
+        join = self._new()
+        if len(semis) == 2:
+            init_lo, init_hi = j + 1, semis[0]
+            cond_lo, cond_hi = semis[0] + 1, semis[1]
+            inc_lo, inc_hi = semis[1] + 1, close
+            cur = self._stmt(cur, init_lo, init_hi)
+            head = self._new()
+            self._edge(cur, head)
+            self._stmt(head, cond_lo, cond_hi)
+            inc = self._new()
+            self._stmt(inc, inc_lo, inc_hi)
+            body_in = self._new()
+            self._edge(head, body_in)
+            self._edge(head, join)  # for(;;) still gets the exit
+            inner = dict(ctx, **{"break": join, "continue": inc})
+            j2, body_out = self.parse_stmt(close + 1, hi, body_in,
+                                           inner)
+            self._edge(body_out, inc)
+            self._edge(inc, head)
+            return j2, join
+        # Range-for: the range expression is evaluated once, in the
+        # predecessor; the loop-variable binding repeats per
+        # iteration, in the head.
+        head = self._new()
+        cur = self._stmt(cur, j + 1, close)
+        self._edge(cur, head)
+        body_in = self._new()
+        self._edge(head, body_in)
+        self._edge(head, join)
+        inner = dict(ctx, **{"break": join, "continue": head})
+        j2, body_out = self.parse_stmt(close + 1, hi, body_in, inner)
+        self._edge(body_out, head)
+        return j2, join
+
+    def parse_switch(self, i: int, hi: int, cur: Optional[int],
+                     ctx: Dict[str, Optional[int]]
+                     ) -> Tuple[int, Optional[int]]:
+        t = self.toks[i]
+        j = i + 1
+        if j >= self.hi or self.toks[j].text != "(":
+            return i + 1, cur
+        subj_close = self._match(j, "(", ")")
+        cur = self._stmt(cur, j, subj_close + 1)
+        b = subj_close + 1
+        if b >= hi or self.toks[b].text != "{":
+            # Braceless switch body: legal, absent from the tree;
+            # widen to a linear statement.
+            self.widened.add("braceless-switch")
+            return self.parse_stmt(b, hi, cur, ctx)
+        bclose = self._match(b, "{", "}")
+        info = SwitchInfo(i, t.line, t.col,
+                          (j, subj_close + 1), (b, bclose + 1))
+        labels = self._scan_labels(b + 1, bclose, info)
+        self.switches.append(info)
+        join = self._new()
+        inner = dict(ctx, **{"break": join})
+        prev_out: Optional[int] = None
+        for k, (lab, body_lo) in enumerate(labels):
+            seg_in = self._new()
+            self._edge(cur, seg_in)        # dispatch edge
+            self._edge(prev_out, seg_in)   # fallthrough edge
+            body_hi = labels[k + 1][0].tok if k + 1 < len(labels) \
+                else bclose
+            prev_out = self.seq(body_lo, body_hi, seg_in, inner)
+        self._edge(prev_out, join)
+        if info.default is None:
+            self._edge(cur, join)          # uncovered value skips all
+        return bclose + 1, join
+
+    def _scan_labels(self, lo: int, hi: int, info: SwitchInfo
+                     ) -> List[Tuple[CaseLabel, int]]:
+        """Collect (label, body-start index) for the depth-0 case/
+        default labels of a switch body; fills info.cases."""
+        out: List[Tuple[CaseLabel, int]] = []
+        depth = 0
+        j = lo
+        while j < hi:
+            t = self.toks[j]
+            if t.kind == PUNCT:
+                if t.text in "([{":
+                    depth += 1
+                elif t.text in ")]}":
+                    depth -= 1
+                j += 1
+                continue
+            if t.kind == IDENT and depth == 0 and \
+                    t.text in ("case", "default"):
+                lab = CaseLabel(j, t.line, t.col, t.text == "default")
+                k = j + 1
+                # Scan the label expression to its ':' (the '::' of a
+                # scoped enumerator is a single token, so the first
+                # bare ':' is the label terminator).
+                expr: List[Token] = []
+                while k < hi and not (self.toks[k].kind == PUNCT and
+                                      self.toks[k].text == ":"):
+                    expr.append(self.toks[k])
+                    k += 1
+                self._classify_case(lab, expr)
+                info.cases.append(lab)
+                out.append((lab, k + 1))
+                j = k + 1
+                continue
+            j += 1
+        return out
+
+    @staticmethod
+    def _classify_case(lab: CaseLabel, expr: List[Token]) -> None:
+        """Extract 'Enum::Enumerator' from a case-label expression.
+        Only the trailing IDENT::IDENT pair matters; deeper
+        qualification (cdp::obs::EventKind::Fill) keeps the last two
+        components."""
+        ids = [t for t in expr if t.kind == IDENT]
+        if len(ids) >= 2 and any(t.kind == PUNCT and t.text == "::"
+                                 for t in expr):
+            lab.enum_name = ids[-2].text
+            lab.enumerator = ids[-1].text
+
+    def parse_try(self, i: int, hi: int, cur: Optional[int],
+                  ctx: Dict[str, Optional[int]]
+                  ) -> Tuple[int, Optional[int]]:
+        """try { A } catch (...) { B }: B can start after any prefix
+        of A, so every catch gets an edge from the block *before* the
+        try as well as from its end — the conservative join."""
+        self.widened.add("try-catch")
+        j = i + 1
+        if j >= hi or self.toks[j].text != "{":
+            return i + 1, cur
+        close = self._match(j, "{", "}")
+        try_out = self.seq(j + 1, close, cur, ctx)
+        join = self._new()
+        self._edge(try_out, join)
+        j = close + 1
+        while j < hi and self.toks[j].kind == IDENT and \
+                self.toks[j].text == "catch":
+            k = j + 1
+            if k < hi and self.toks[k].text == "(":
+                k = self._match(k, "(", ")") + 1
+            catch_in = self._new()
+            self._edge(cur, catch_in)      # throw before any effect
+            self._edge(try_out, catch_in)  # throw after all of them
+            if k < hi and self.toks[k].text == "{":
+                cclose = self._match(k, "{", "}")
+                catch_out = self.seq(k + 1, cclose, catch_in, ctx)
+                j = cclose + 1
+            else:
+                j, catch_out = self.parse_stmt(k, hi, catch_in, ctx)
+            self._edge(catch_out, join)
+        return j, join
+
+    def parse_jump(self, i: int, hi: int, cur: Optional[int],
+                   ctx: Dict[str, Optional[int]]
+                   ) -> Tuple[int, Optional[int]]:
+        kw = self.toks[i].text
+        end = self._stmt_end(i)
+        cur = self._stmt(cur, i, end)
+        if kw == "break" and ctx.get("break") is not None:
+            self._edge(cur, ctx["break"])
+        elif kw == "continue" and ctx.get("continue") is not None:
+            self._edge(cur, ctx["continue"])
+        else:
+            # return, throw, goto (widened), or a stray break/continue
+            # outside any loop: the path leaves the function body.
+            if kw == "goto":
+                self.widened.add("goto")
+            self._edge(cur, self.exit)
+        return end, None
+
+
+def scan_switches(toks: List[Token], lo: int, hi: int
+                  ) -> List[SwitchInfo]:
+    """Every braced switch statement (nested ones included) in
+    toks[lo:hi), labels classified, without building a CFG. The
+    exhaustive-switch rule uses this so switches in free functions —
+    which have no MethodBody record — are still covered."""
+    b = _Builder(toks, lo, min(hi, len(toks)))
+    out: List[SwitchInfo] = []
+    j = lo
+    n = b.hi
+    while j < n:
+        t = toks[j]
+        if t.kind == IDENT and t.text == "switch" and \
+                j + 1 < n and toks[j + 1].kind == PUNCT and \
+                toks[j + 1].text == "(":
+            subj_close = b._match(j + 1, "(", ")")
+            bo = subj_close + 1
+            if bo < n and toks[bo].kind == PUNCT and \
+                    toks[bo].text == "{":
+                bclose = b._match(bo, "{", "}")
+                info = SwitchInfo(j, t.line, t.col,
+                                  (j + 1, subj_close + 1),
+                                  (bo, bclose + 1))
+                b._scan_labels(bo + 1, bclose, info)
+                out.append(info)
+        j += 1
+    return out
+
+
+def build_cfg(toks: List[Token], body_lo: int, body_hi: int) -> Cfg:
+    """CFG for the body whose '{' is at token ``body_lo`` and whose
+    matching '}' is at ``body_hi`` (MethodBody.body_lo/body_hi)."""
+    b = _Builder(toks, body_lo, body_hi)
+    last = b.seq(body_lo + 1, min(body_hi, len(toks)), b.entry, {})
+    b._edge(last, b.exit)
+    return Cfg(b.blocks, b.entry, b.exit, b.switches, b.widened)

@@ -1,0 +1,84 @@
+"""Generic forward dataflow solver over cdplint CFGs.
+
+One worklist algorithm serves every flow-sensitive rule; each rule
+supplies its lattice as three callables:
+
+    entry_state          value at the function entry
+    transfer(block, s)   abstract execution of one block; must return
+                         a fresh value, never mutate its input
+    join(a, b)           least upper bound of two predecessor states
+
+Unreachable-so-far blocks carry the implicit bottom ``None`` (join
+with ``None`` is the identity), so rules never special-case it. The
+solver iterates to a fixpoint in reverse post-order; with monotone
+transfer functions over finite lattices — all the rules here use
+small power sets or two-point lattices — termination is immediate
+and the result is independent of iteration order, keeping ``--jobs``
+output byte-identical.
+
+``states_at`` replays a block's transfer statement-by-statement so a
+rule can ask for the state *at a token position* (e.g. "is the lock
+held where this member is read?") without re-deriving the in-block
+walk itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple, TypeVar
+
+from cfg import Block, Cfg
+
+S = TypeVar("S")
+
+
+def solve_forward(cfg: Cfg,
+                  entry_state: S,
+                  transfer: Callable[[Block, S], S],
+                  join: Callable[[S, S], S],
+                  ) -> Tuple[Dict[int, Optional[S]],
+                             Dict[int, Optional[S]]]:
+    """Run the worklist algorithm; returns ({block: in-state},
+    {block: out-state}). Blocks unreachable from entry keep None."""
+    order = cfg.rpo()
+    pos = {bid: i for i, bid in enumerate(order)}
+    in_s: Dict[int, Optional[S]] = {b.bid: None for b in cfg.blocks}
+    out_s: Dict[int, Optional[S]] = {b.bid: None for b in cfg.blocks}
+
+    work = deque(order)
+    queued = set(order)
+    while work:
+        bid = work.popleft()
+        queued.discard(bid)
+        block = cfg.block(bid)
+        state: Optional[S] = entry_state if bid == cfg.entry else None
+        for p in block.preds:
+            o = out_s[p]
+            if o is None:
+                continue
+            state = o if state is None else join(state, o)
+        if state is None:
+            continue  # not yet reachable; a pred will requeue us
+        in_s[bid] = state
+        new_out = transfer(block, state)
+        if new_out != out_s[bid]:
+            out_s[bid] = new_out
+            for s in block.succs:
+                if s in pos and s not in queued:
+                    queued.add(s)
+                    work.append(s)
+    return in_s, out_s
+
+
+def states_at(block: Block,
+              in_state: S,
+              stmt_transfer: Callable[[Tuple[int, int], S], S],
+              ):
+    """Yield (stmt_range, state-before-stmt) for each statement of
+    ``block``, threading ``stmt_transfer`` between them. The caller's
+    block-level transfer must be the composition of the same
+    ``stmt_transfer`` for the answers to line up."""
+    state = in_state
+    for rng in block.stmts:
+        yield rng, state
+        state = stmt_transfer(rng, state)

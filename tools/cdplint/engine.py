@@ -99,11 +99,25 @@ class FileContext:
     # code tokens grouped by line for line-oriented rules
     tokens_by_line: Dict[int, List[lexer.Token]] = field(
         default_factory=dict)
+    # per-body CFGs, built on first use and shared by every
+    # flow-sensitive rule that asks for the same body
+    _cfg_cache: Dict[Tuple[str, int], object] = field(
+        default_factory=dict)
 
     def line_text(self, line: int) -> str:
         if 1 <= line <= len(self.lines):
             return self.lines[line - 1]
         return ""
+
+    def cfg_of(self, body):
+        """Control-flow graph of a MethodBody defined in this file
+        (memoized; see cfg.py for the construction contract)."""
+        key = (body.path, body.body_lo)
+        if key not in self._cfg_cache:
+            import cfg
+            self._cfg_cache[key] = cfg.build_cfg(
+                self.tokens, body.body_lo, body.body_hi)
+        return self._cfg_cache[key]
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +240,104 @@ def relpath(p: Path) -> str:
         return p.as_posix()
 
 
+# ---------------------------------------------------------------------------
+# Differential mode (--diff <ref>)
+# ---------------------------------------------------------------------------
+
+_HUNK_RE = re.compile(r"^@@ -\d+(?:,\d+)? \+(\d+)(?:,(\d+))? @@")
+
+
+def changed_lines(ref: str, rel_paths: List[str]
+                  ) -> Dict[str, Set[int]]:
+    """New-side line numbers changed vs ``ref``, per repo-relative
+    path, from ``git diff -U0``. A pure deletion (zero new-side
+    lines) records the line after the cut, so the enclosing function
+    still counts as touched. Files git does not track (fresh,
+    uncommitted) are wholly changed. Raises SystemExit on git
+    failure — a bad ref must fail the lint run loudly, not lint
+    nothing."""
+    import subprocess
+    want = set(rel_paths)
+    out: Dict[str, Set[int]] = {}
+
+    proc = subprocess.run(
+        ["git", "diff", "--unified=0", "--no-color", ref, "--",
+         *sorted(want)],
+        capture_output=True, text=True)
+    if proc.returncode not in (0, 1):
+        raise SystemExit(
+            f"{TOOL_NAME}: git diff {ref} failed: "
+            f"{proc.stderr.strip()}")
+    cur: Optional[str] = None
+    for ln in proc.stdout.splitlines():
+        if ln.startswith("+++ "):
+            name = ln[4:].strip()
+            if name.startswith("b/"):
+                name = name[2:]
+            cur = name if name in want else None
+            continue
+        m = _HUNK_RE.match(ln)
+        if m and cur is not None:
+            start = int(m.group(1))
+            count = int(m.group(2)) if m.group(2) is not None else 1
+            lines = out.setdefault(cur, set())
+            if count == 0:
+                lines.add(max(start, 1))
+            else:
+                lines.update(range(start, start + count))
+
+    # Untracked files never appear in the diff; treat them as fully
+    # changed so brand-new code is always linted.
+    proc = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard", "--",
+         *sorted(want)],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        for name in proc.stdout.splitlines():
+            name = name.strip()
+            if name in want:
+                out.setdefault(name, set()).add(-1)  # sentinel: all
+    return out
+
+
+def diff_filter(findings: List[Finding], prog: ProgramModel,
+                changed: Dict[str, Set[int]]) -> List[Finding]:
+    """Keep a finding iff its file changed AND the finding is
+    attributable to a changed region: its own line changed, or it
+    sits inside a function body / class body that has a changed
+    line. Dropping is the only operation, so --diff output is a
+    strict subset of the full run by construction (selftest-pinned).
+    Cross-file effects (a .cc edit surfacing a finding anchored in
+    the paired .hh) are deliberately out of --diff's reach; the
+    full-run CI fallback covers them."""
+    kept: List[Finding] = []
+    for f in findings:
+        ch = changed.get(f.path)
+        if not ch:
+            continue
+        if -1 in ch or f.line in ch:
+            kept.append(f)
+            continue
+        hit = False
+        for b in prog.bodies.get(f.path, []):
+            toks = prog.streams.get(f.path, [])
+            hi_line = toks[b.body_hi].line \
+                if b.body_hi < len(toks) else b.sig_line
+            if b.sig_line <= f.line <= hi_line and \
+                    any(b.sig_line <= c <= hi_line for c in ch):
+                hit = True
+                break
+        if not hit:
+            for ci in prog.classes_in(f.path):
+                if ci.line <= f.line <= ci.end_line and \
+                        any(ci.line <= c <= ci.end_line for c in ch):
+                    hit = True
+                    break
+        if hit:
+            kept.append(f)
+    return kept
+
+
 # Shared state for --jobs workers. Populated in the parent before the
 # fork pool is created, so children inherit it read-only and nothing
 # but the per-file payload and results ever crosses a pipe.
@@ -241,18 +353,22 @@ def _lex_one(payload: Tuple[str, str]):
     return rel, text, toks, comments
 
 
-def _analyze_one(i: int) -> List[Finding]:
+def _analyze_one(i: int) -> Tuple[List[Finding], Dict[str, float]]:
     """Worker: run every active rule over one file and apply that
     file's suppressions. Pure function of the shared state + index,
-    so results are identical at any job count."""
+    so results are identical at any job count. Also returns per-rule
+    wall time for the stderr timing line."""
     ctx: FileContext = _WORK["contexts"][i]
     active: Dict[str, object] = _WORK["active"]
     only_rules: Optional[Set[str]] = _WORK["only_rules"]
 
     sups = scan_suppressions(ctx)
     raw: List[Finding] = []
+    timings: Dict[str, float] = {}
     for rid, r in active.items():
+        t0 = time.monotonic()
         raw.extend(r.check(ctx))
+        timings[rid] = time.monotonic() - t0
 
     # Apply suppressions.
     kept: List[Finding] = []
@@ -287,7 +403,7 @@ def _analyze_one(i: int) -> List[Finding]:
             "legacy-waiver", ctx.path, line, 1,
             f"old-style '// lint-ok: {rid}' waiver; migrate to "
             f"'// cdplint: allow({rid}) -- reason'"))
-    return kept
+    return kept, timings
 
 
 def _map_jobs(fn, items: List, jobs: int) -> List:
@@ -311,14 +427,20 @@ def _map_jobs(fn, items: List, jobs: int) -> List:
 def run_analysis(files: List[Path],
                  only_rules: Optional[Set[str]] = None,
                  jobs: int = 1,
+                 restrict: Optional[Set[str]] = None,
                  ) -> Tuple[List[FileContext], List[Finding],
-                            ProgramModel]:
+                            ProgramModel, Dict[str, float]]:
     """Lex, index, model, and run every registered rule over
     ``files``. Two passes: pass 1 lexes every file and builds the
     whole-program model (declaration index, class/member lists,
     method bodies, include graph, annotations); pass 2 runs the rules
     per file against that model. Both passes fan out over ``jobs``
-    workers; output is byte-identical at any job count."""
+    workers; output is byte-identical at any job count.
+
+    ``restrict`` (for --diff) limits *pass 2* to the named
+    repo-relative paths; pass 1 always covers every file so the
+    cross-TU model — and therefore every finding that is emitted —
+    is identical to the full run's."""
     lexed = _map_jobs(_lex_one, [(str(f), relpath(f)) for f in files],
                       jobs)
     streams = {}
@@ -346,16 +468,20 @@ def run_analysis(files: List[Path],
     _WORK["contexts"] = contexts
     _WORK["active"] = active
     _WORK["only_rules"] = only_rules
+    todo = [i for i, ctx in enumerate(contexts)
+            if restrict is None or ctx.path in restrict]
     try:
-        per_file = _map_jobs(_analyze_one, list(range(len(contexts))),
-                             jobs)
+        per_file = _map_jobs(_analyze_one, todo, jobs)
     finally:
         _WORK.clear()
 
     findings: List[Finding] = []
-    for kept in per_file:
+    timings: Dict[str, float] = {rid: 0.0 for rid in active}
+    for kept, t in per_file:
         findings.extend(kept)
-    return contexts, findings, prog
+        for rid, dt in t.items():
+            timings[rid] = timings.get(rid, 0.0) + dt
+    return contexts, findings, prog, timings
 
 
 def builtin_rule_meta() -> Dict[str, Tuple[str, str]]:
@@ -412,6 +538,11 @@ def main(argv: List[str]) -> int:
                          "members, bodies, include graph, "
                          "annotations) as JSON, for debugging rule "
                          "behaviour")
+    ap.add_argument("--diff", metavar="REF",
+                    help="differential mode: lex and model every "
+                         "path as usual, but report only findings "
+                         "attributable to lines changed vs the git "
+                         "ref (strict subset of the full run)")
     try:
         args = ap.parse_args(argv)
     except SystemExit as e:
@@ -442,10 +573,31 @@ def main(argv: List[str]) -> int:
         print(e, file=sys.stderr)
         return 2
 
+    if args.diff and args.write_baseline:
+        print(f"{TOOL_NAME}: --diff and --write-baseline are "
+              f"mutually exclusive (a partial run must never "
+              f"become the baseline)", file=sys.stderr)
+        return 2
+
+    changed: Optional[Dict[str, Set[int]]] = None
+    restrict: Optional[Set[str]] = None
+    if args.diff:
+        try:
+            changed = changed_lines(
+                args.diff, [relpath(p) for p in files])
+        except SystemExit as e:
+            print(e, file=sys.stderr)
+            return 2
+        restrict = set(changed)
+
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     t0 = time.monotonic()
-    contexts, findings, prog = run_analysis(files, only, jobs)
+    contexts, findings, prog, timings = run_analysis(
+        files, only, jobs, restrict=restrict)
     elapsed = time.monotonic() - t0
+
+    if changed is not None:
+        findings = diff_filter(findings, prog, changed)
 
     if args.dump_model:
         from model import model_to_json
@@ -488,6 +640,16 @@ def main(argv: List[str]) -> int:
     # Timing goes to stderr: stdout stays byte-identical at any -j.
     print(f"{TOOL_NAME}: analyzed {nfiles} file(s) in "
           f"{elapsed:.2f}s with {jobs} job(s)", file=sys.stderr)
+    if timings:
+        per_rule = " ".join(
+            f"{rid}={timings[rid] * 1000:.0f}ms"
+            for rid in sorted(timings))
+        print(f"{TOOL_NAME}: rule timings: {per_rule}",
+              file=sys.stderr)
+    if restrict is not None:
+        print(f"{TOOL_NAME}: --diff {args.diff}: "
+              f"{len(restrict)}/{nfiles} file(s) changed",
+              file=sys.stderr)
     if final:
         print(f"{TOOL_NAME}: {len(final)} finding(s) in {nfiles} "
               f"file(s)", file=sys.stderr)

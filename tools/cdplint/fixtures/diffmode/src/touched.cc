@@ -1,0 +1,8 @@
+// The file the DiffMode selftest edits: it starts with one finding
+// in an old function, and the test appends a new function with a
+// fresh finding. --diff must report only the fresh one.
+int *
+oldLeak()
+{
+    return new int; // pre-existing finding, untouched by the edit
+}

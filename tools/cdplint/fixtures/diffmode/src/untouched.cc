@@ -1,0 +1,7 @@
+// Never edited by the DiffMode selftest: its finding must appear in
+// the full run and never in the --diff run.
+int *
+otherLeak()
+{
+    return new int;
+}

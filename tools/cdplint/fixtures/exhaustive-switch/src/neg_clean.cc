@@ -1,0 +1,57 @@
+// Negatives: full coverage (with and without a defensive default),
+// an annotated catch-all, and dispatch that is not over a project
+// enum at all.
+enum class Phase { Warm, Measure, Drain };
+
+int
+stepsOf(Phase p)
+{
+    switch (p) { // covered exactly
+      case Phase::Warm:
+        return 1;
+      case Phase::Measure:
+        return 2;
+      case Phase::Drain:
+        return 3;
+    }
+    return 0;
+}
+
+const char *
+phaseName(Phase p)
+{
+    switch (p) { // covered, plus a defensive default for the return
+      case Phase::Warm:
+        return "warm";
+      case Phase::Measure:
+        return "measure";
+      case Phase::Drain:
+        return "drain";
+      default:
+        return "?";
+    }
+}
+
+int
+phaseClass(Phase p)
+{
+    switch (p) {
+      case Phase::Measure:
+        return 1;
+      // cdplint: allow(exhaustive-switch) -- everything but Measure is bookkeeping and shares one path
+      default:
+        return 0;
+    }
+}
+
+int
+charClass(char c)
+{
+    switch (c) { // not a project enum: integer dispatch is exempt
+      case 'a':
+        return 1;
+      case 'b':
+        return 2;
+    }
+    return 0;
+}

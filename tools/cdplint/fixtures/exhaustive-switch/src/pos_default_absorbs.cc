@@ -1,0 +1,16 @@
+// Positive: an unannotated default absorbs enumerators that were
+// added after the switch was written.
+enum class DropWhy { Filtered, QueueFull, Duplicate, Pollution };
+
+const char *
+whyName(DropWhy w)
+{
+    switch (w) {
+      case DropWhy::Filtered:
+        return "filtered";
+      case DropWhy::QueueFull:
+        return "queue-full";
+      default: // planted: Duplicate and Pollution fall in here
+        return "?";
+    }
+}

@@ -1,0 +1,17 @@
+// Positive: a switch over a project enum with no default silently
+// drops the enumerator it forgot.
+enum class ReqKind { Load, Store, Walk, Prefetch };
+
+int
+priorityOf(ReqKind k)
+{
+    switch (k) { // planted: Prefetch missing, no default
+      case ReqKind::Load:
+        return 0;
+      case ReqKind::Store:
+        return 1;
+      case ReqKind::Walk:
+        return 2;
+    }
+    return -1;
+}

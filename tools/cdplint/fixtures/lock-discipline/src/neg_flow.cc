@@ -1,0 +1,31 @@
+// Negatives for the path-sensitive upgrade: a defer_lock guard whose
+// explicit lock() covers the access, branch-balanced unlocking
+// before every return, and a re-lock after a full release.
+#include "neg_flow.hh"
+
+void
+Balanced::deferred(bool fast)
+{
+    std::unique_lock<std::mutex> lk(mtx, std::defer_lock);
+    lk.lock();
+    ++steps;
+    lk.unlock();
+    if (fast)
+        return; // nothing held here
+    lk.lock();
+    ++steps;
+    lk.unlock();
+}
+
+bool
+Balanced::branchRelease(bool empty)
+{
+    mtx.lock();
+    if (empty) {
+        mtx.unlock();
+        return false;
+    }
+    ++steps;
+    mtx.unlock();
+    return true;
+}

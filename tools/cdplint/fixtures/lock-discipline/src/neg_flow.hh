@@ -1,0 +1,11 @@
+#pragma once
+
+class Balanced {
+  public:
+    void deferred(bool fast);
+    bool branchRelease(bool empty);
+
+  private:
+    std::mutex mtx;
+    std::size_t steps = 0; // cdplint: guarded_by(mtx)
+};

@@ -1,0 +1,33 @@
+// Positives only a path-sensitive analysis can see: a lock taken on
+// one branch, a return that keeps the mutex, a second acquisition.
+#include "pos_flow.hh"
+
+void
+Flow::conditional(bool need)
+{
+    if (need)
+        mtx.lock();
+    ++depth; // planted: unlocked when !need
+    if (need)
+        mtx.unlock();
+}
+
+bool
+Flow::earlyReturn(bool empty)
+{
+    mtx.lock();
+    if (empty)
+        return false; // planted: leaves with mtx held
+    ++depth;
+    mtx.unlock();
+    return true;
+}
+
+void
+Flow::doubleLock()
+{
+    mtx.lock();
+    ++depth;
+    mtx.lock(); // planted: already held on every path
+    mtx.unlock();
+}

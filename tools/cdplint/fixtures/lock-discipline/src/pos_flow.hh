@@ -1,0 +1,12 @@
+#pragma once
+
+class Flow {
+  public:
+    void conditional(bool need);
+    bool earlyReturn(bool empty);
+    void doubleLock();
+
+  private:
+    std::mutex mtx;
+    std::size_t depth = 0; // cdplint: guarded_by(mtx)
+};

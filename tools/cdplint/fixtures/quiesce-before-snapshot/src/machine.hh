@@ -1,0 +1,27 @@
+// Shared fixture model: a MemorySystem with the real drain/save
+// surface, owned by a Machine.
+#pragma once
+#include <memory>
+#include <ostream>
+
+namespace snap { class Writer; }
+
+class MemorySystem {
+  public:
+    void drainAll(unsigned long now);
+    void saveState(snap::Writer &w) const;
+};
+
+class Machine {
+  public:
+    void quiescent();               // drains on every path
+    void checkpointBad(snap::Writer &w) const;
+    void checkpointMaybe(snap::Writer &w, bool fast) const;
+    void checkpointGood(snap::Writer &w) const;
+    void checkpointViaHelper(snap::Writer &w) const;
+    void checkpointContract(snap::Writer &w) const;
+    void checkpointCaller(snap::Writer &w) const;
+
+  private:
+    std::unique_ptr<MemorySystem> memsys;
+};

@@ -1,0 +1,32 @@
+// Negatives: a direct drain, a drain through a method that provably
+// drains on every path, a requires_quiesced contract discharging the
+// body, and a caller that drains before the annotated method.
+#include "machine.hh"
+
+void
+Machine::checkpointGood(snap::Writer &w) const
+{
+    memsys->drainAll(0);
+    memsys->saveState(w);
+}
+
+void
+Machine::checkpointViaHelper(snap::Writer &w) const
+{
+    const_cast<Machine *>(this)->quiescent();
+    memsys->saveState(w);
+}
+
+// cdplint: requires_quiesced(memsys)
+void
+Machine::checkpointContract(snap::Writer &w) const
+{
+    memsys->saveState(w); // the obligation moved to the callers
+}
+
+void
+Machine::checkpointCaller(snap::Writer &w) const
+{
+    memsys->drainAll(0);
+    checkpointContract(w);
+}

@@ -1,0 +1,10 @@
+// Positive: requires_quiesced must sit on a function definition's
+// signature — on a random statement it binds to nothing.
+#include "machine.hh"
+
+void
+Machine::quiescent()
+{
+    // cdplint: requires_quiesced(memsys)
+    memsys->drainAll(0);
+}

@@ -1,0 +1,17 @@
+// Positives: saveState with no drain anywhere, and one whose drain
+// only happens on one branch (not dominating).
+#include "machine.hh"
+
+void
+Machine::checkpointBad(snap::Writer &w) const
+{
+    memsys->saveState(w); // planted: no drain in sight
+}
+
+void
+Machine::checkpointMaybe(snap::Writer &w, bool fast) const
+{
+    if (!fast)
+        memsys->drainAll(0);
+    memsys->saveState(w); // planted: undrained on the fast path
+}

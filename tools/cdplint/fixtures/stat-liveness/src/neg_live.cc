@@ -1,0 +1,13 @@
+#include "neg_live.hh"
+
+static void touch(stats::Scalar *s);
+
+void
+BusModel::onBeat(unsigned long n)
+{
+    ++beats;
+    stalls += n;
+    highWater.set(n);
+    occupancy.sample(n);
+    touch(&escaped);
+}

@@ -1,0 +1,34 @@
+// Negatives: every update form keeps its stat alive — increment,
+// compound assign, .set/.sample, an update through a by-reference
+// escape — Formula is exempt, and a deliberately-dormant stat can
+// say so.
+#pragma once
+
+namespace stats {
+class Scalar {
+  public:
+    Scalar &operator++();
+    Scalar &operator+=(unsigned long v);
+    void set(unsigned long v);
+};
+class Distribution {
+  public:
+    void sample(unsigned long v);
+};
+class Formula {};
+}
+
+class BusModel {
+  public:
+    void onBeat(unsigned long n);
+
+  private:
+    stats::Scalar beats;
+    stats::Scalar stalls;
+    stats::Scalar highWater;
+    stats::Distribution occupancy;
+    stats::Scalar escaped;   // updated through touch(&escaped)
+    stats::Formula utilization; // computed on demand: exempt
+    // cdplint: allow(stat-liveness) -- kept for checkpoint-format stability until the v2 format lands
+    stats::Scalar legacyPad;
+};

@@ -1,0 +1,14 @@
+#include "pos_dead.hh"
+
+void
+CachePolicy::onHit()
+{
+    ++hits;
+}
+
+void
+CachePolicy::onEvict()
+{
+    return; // pasted early-out orphaned the sample below
+    evictAge.sample(1);
+}

@@ -1,0 +1,26 @@
+// Positives: a stat with no update anywhere, and one whose only
+// update sits in code the CFG proves unreachable.
+#pragma once
+
+namespace stats {
+class Scalar {
+  public:
+    Scalar &operator++();
+    Scalar &operator+=(unsigned long v);
+};
+class Distribution {
+  public:
+    void sample(unsigned long v);
+};
+}
+
+class CachePolicy {
+  public:
+    void onHit();
+    void onEvict();
+
+  private:
+    stats::Scalar hits;
+    stats::Scalar replacements; // planted: never updated anywhere
+    stats::Distribution evictAge; // planted: update is dead code
+};

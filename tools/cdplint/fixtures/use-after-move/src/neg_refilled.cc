@@ -1,0 +1,51 @@
+// Negatives: every moved-from local is reassigned or refilled before
+// its next read, or the read and the move cannot share a path.
+#include <string>
+#include <utility>
+#include <vector>
+
+class Clean {
+  public:
+    void reassigned()
+    {
+        std::string s = fill();
+        ship(std::move(s));
+        s = fill(); // back to a known state
+        emit(s);
+    }
+
+    void refilledInLoop(int n)
+    {
+        std::vector<int> buf = makeVec();
+        for (int i = 0; i < n; ++i) {
+            sendVec(std::move(buf));
+            buf = makeVec(); // refilled before the back edge
+        }
+    }
+
+    void cleared()
+    {
+        std::vector<int> scratch = makeVec();
+        sendVec(std::move(scratch));
+        scratch.clear();
+        useVec(scratch);
+    }
+
+    void disjointPaths(bool fast)
+    {
+        std::string s = fill();
+        if (fast) {
+            ship(std::move(s));
+            return; // the moved value never escapes this branch
+        }
+        emit(s);
+    }
+
+  private:
+    std::string fill();
+    std::vector<int> makeVec();
+    void ship(std::string s);
+    void emit(const std::string &s);
+    void sendVec(std::vector<int> v);
+    void useVec(const std::vector<int> &v);
+};

@@ -1,0 +1,27 @@
+// Positives: a move on one branch reaches a read after the join, and
+// a second move of an already-moved local.
+#include <utility>
+#include <vector>
+
+class Shipper {
+  public:
+    void branchMove(bool fast)
+    {
+        std::vector<int> buf = make();
+        if (fast)
+            send(std::move(buf));
+        use(buf); // planted: moved on the fast path
+    }
+
+    void doubleMove()
+    {
+        std::vector<int> pkt = make();
+        send(std::move(pkt));
+        send(std::move(pkt)); // planted: second move
+    }
+
+  private:
+    std::vector<int> make();
+    void send(std::vector<int> v);
+    void use(const std::vector<int> &v);
+};

@@ -1,0 +1,21 @@
+// Positive: the retry-loop shape — the happy path moves the buffer
+// out, the next iteration reads it again.
+#include <string>
+#include <utility>
+
+class Retrier {
+  public:
+    void drain(int n)
+    {
+        std::string chunk = fill();
+        for (int i = 0; i < n; ++i) {
+            emit(chunk); // planted: moved by the previous iteration
+            ship(std::move(chunk));
+        }
+    }
+
+  private:
+    std::string fill();
+    void emit(const std::string &s);
+    void ship(std::string s);
+};

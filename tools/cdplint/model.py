@@ -94,12 +94,25 @@ class IncludeEdge:
 
 @dataclass
 class Annotation:
-    kind: str                # "transient" | "guarded_by" | "requires_lock"
+    # "transient" | "guarded_by" | "requires_lock" | "requires_quiesced"
+    kind: str
     args: Tuple[str, ...]
     reason: str
     path: str
     comment_line: int
     target_line: int         # next code line for standalone comments
+
+
+@dataclass
+class EnumInfo:
+    """One project enum definition (scoped or not), with its
+    enumerators in declaration order. The exhaustive-switch rule
+    treats every enum defined inside the lint run as a project enum."""
+    name: str
+    path: str
+    line: int
+    enumerators: List[str] = field(default_factory=list)
+    scoped: bool = False     # enum class / enum struct
 
 
 @dataclass
@@ -112,6 +125,8 @@ class ProgramModel:
     bodies: Dict[str, List[MethodBody]] = field(default_factory=dict)
     includes: Dict[str, List[IncludeEdge]] = field(default_factory=dict)
     annotations: Dict[str, List[Annotation]] = field(default_factory=dict)
+    # enum name -> every definition seen (fixtures may shadow names)
+    enums: Dict[str, List[EnumInfo]] = field(default_factory=dict)
     # path -> lexed code tokens, so a rule anchored in one file can
     # read a body that lives in another (the .hh/.cc pairing)
     streams: Dict[str, List[Token]] = field(default_factory=dict)
@@ -140,6 +155,22 @@ class ProgramModel:
                     out.append(b)
         return out
 
+    def find_enum(self, name: str,
+                  near_path: Optional[str] = None
+                  ) -> Optional[EnumInfo]:
+        """Definition of enum ``name``; when several files define the
+        same enum name (fixture trees), prefer the one sharing a
+        directory prefix with ``near_path``."""
+        lst = self.enums.get(name)
+        if not lst:
+            return None
+        if near_path is not None and len(lst) > 1:
+            near_dir = near_path.rsplit("/", 1)[0]
+            for ei in lst:
+                if ei.path.rsplit("/", 1)[0] == near_dir:
+                    return ei
+        return lst[0]
+
     def annotations_on(self, path: str, line: int) -> List[Annotation]:
         return [a for a in self.annotations.get(path, [])
                 if a.target_line == line]
@@ -163,7 +194,8 @@ class ProgramModel:
 # ---------------------------------------------------------------------------
 
 _ANNOT_RE = re.compile(
-    r"cdplint:\s*(transient|guarded_by|requires_lock)"
+    r"cdplint:\s*(transient|guarded_by|requires_lock|"
+    r"requires_quiesced)"
     r"\(\s*([\w, ]*?)\s*\)(?:\s*--\s*(.*))?\s*$")
 
 
@@ -217,6 +249,67 @@ def _scan_includes(path: str, toks: List[Token]) -> List[IncludeEdge]:
         if m:
             out.append(IncludeEdge(path, t.line, m.group(1)))
     return out
+
+
+# ---------------------------------------------------------------------------
+# Enum definitions
+# ---------------------------------------------------------------------------
+
+def _scan_enums(path: str, toks, model: ProgramModel) -> None:
+    """Record every named enum definition: ``enum [class|struct] Name
+    [: base] { A, B = expr, C };`` at any nesting. Anonymous enums
+    have no switchable type name and are skipped."""
+    n = len(toks)
+    i = 0
+    while i < n:
+        t = toks[i]
+        if t.kind != IDENT or t.text != "enum":
+            i += 1
+            continue
+        j = i + 1
+        scoped = False
+        if j < n and toks[j].kind == IDENT and \
+                toks[j].text in ("class", "struct"):
+            scoped = True
+            j += 1
+        if j >= n or toks[j].kind != IDENT:
+            i = j + 1
+            continue
+        name_tok = toks[j]
+        j += 1
+        # Optional ': base-type' — walk to the '{' or give up at ';'
+        # (opaque declaration / elaborated type specifier).
+        while j < n and toks[j].text not in ("{", ";"):
+            j += 1
+        if j >= n or toks[j].text == ";":
+            i = j + 1
+            continue
+        close = _match_close(toks, j, "{", "}")
+        ei = EnumInfo(name_tok.text, path, name_tok.line,
+                      scoped=scoped)
+        # Enumerators: the identifier opening each comma-separated
+        # entry; '= expr' initializers are skipped bracket-aware.
+        k = j + 1
+        expect_name = True
+        depth = 0
+        while k < close:
+            tt = toks[k]
+            if tt.kind == PUNCT:
+                if tt.text in "([{":
+                    depth += 1
+                elif tt.text in ")]}":
+                    depth -= 1
+                elif tt.text == "," and depth == 0:
+                    expect_name = True
+                k += 1
+                continue
+            if tt.kind == IDENT and expect_name and depth == 0:
+                ei.enumerators.append(tt.text)
+                expect_name = False
+            k += 1
+        if ei.enumerators:
+            model.enums.setdefault(ei.name, []).append(ei)
+        i = close + 1
 
 
 # ---------------------------------------------------------------------------
@@ -496,13 +589,24 @@ def _finish_method(path: str, toks: List[Token], model: ProgramModel,
 _BODY_INTRO_SKIP = {"const", "noexcept", "override", "final",
                     "mutable", "->"}
 
+# An unqualified IDENT '(' ... ')' '{' at namespace scope is a free
+# function definition — unless the IDENT is a statement keyword or an
+# operator-like builtin, which produce the same token shape.
+_NOT_A_FUNCTION = {"if", "while", "for", "switch", "do", "catch",
+                   "return", "sizeof", "alignof", "alignas",
+                   "decltype", "noexcept", "static_assert", "assert",
+                   "defined", "new", "delete", "throw", "else",
+                   "case", "default", "try"}
+
 
 def _scan_out_of_line_bodies(path: str, toks: List[Token],
                              model: ProgramModel) -> None:
-    """Find ``Qualified::name(...) ... { ... }`` definitions at any
-    nesting (namespace bodies are just braces to this scan). In-class
-    definitions are captured by the class scan; this pass skips token
-    ranges already claimed by it."""
+    """Find ``Qualified::name(...) ... { ... }`` and free-function
+    ``name(...) ... { ... }`` definitions at any nesting (namespace
+    bodies are just braces to this scan; free functions record an
+    empty class qualifier). In-class definitions are captured by the
+    class scan; this pass skips token ranges already claimed by
+    it."""
     claimed = [(b.body_lo, b.body_hi)
                for b in model.bodies.get(path, [])]
 
@@ -516,14 +620,28 @@ def _scan_out_of_line_bodies(path: str, toks: List[Token],
         if t.kind != IDENT or in_claimed(i):
             i += 1
             continue
-        # Longest chain IDENT (:: IDENT)+ followed by '('.
+        # Longest chain IDENT (:: IDENT)+ followed by '('. A '~'
+        # after '::' is a destructor: one more segment, then the
+        # chain necessarily ends.
         j = i
         parts = [toks[j].text]
         while j + 2 < n and toks[j + 1].kind == PUNCT and \
-                toks[j + 1].text == "::" and toks[j + 2].kind == IDENT:
-            parts.append(toks[j + 2].text)
-            j += 2
-        if len(parts) < 2 or j + 1 >= n or toks[j + 1].text != "(":
+                toks[j + 1].text == "::":
+            if toks[j + 2].kind == IDENT:
+                parts.append(toks[j + 2].text)
+                j += 2
+            elif toks[j + 2].kind == PUNCT and \
+                    toks[j + 2].text == "~" and j + 3 < n and \
+                    toks[j + 3].kind == IDENT:
+                parts.append("~" + toks[j + 3].text)
+                j += 3
+                break
+            else:
+                break
+        if j + 1 >= n or toks[j + 1].text != "(":
+            i += 1
+            continue
+        if len(parts) == 1 and parts[0] in _NOT_A_FUNCTION:
             i += 1
             continue
         close = _match_close(toks, j + 1, "(", ")")
@@ -548,7 +666,7 @@ def _scan_out_of_line_bodies(path: str, toks: List[Token],
                 elif toks[k].text == "{":
                     break
                 k += 1
-        if k < n and toks[k].text == "{":
+        if k < n and toks[k].text == "{" and not in_claimed(k):
             body_close = _match_close(toks, k, "{", "}")
             model.bodies.setdefault(path, []).append(MethodBody(
                 "::".join(parts[:-1]), parts[-1], path,
@@ -575,6 +693,7 @@ def build_model(streams: Dict[str, List[Token]],
         code_lines = {t.line for t in toks}
         model.annotations[path] = _scan_annotations(
             path, comments.get(path, []), code_lines)
+        _scan_enums(path, toks, model)
         _scan_classes(path, toks, model, 0, len(toks), "")
         _scan_out_of_line_bodies(path, toks, model)
         model.bodies.setdefault(path, []).sort(
@@ -618,5 +737,13 @@ def model_to_json(model: ProgramModel) -> Dict:
                 "target_line": a.target_line,
             } for a in lst]
             for path, lst in sorted(model.annotations.items()) if lst
+        },
+        "enums": {
+            name: [{
+                "path": ei.path, "line": ei.line,
+                "scoped": ei.scoped,
+                "enumerators": list(ei.enumerators),
+            } for ei in lst]
+            for name, lst in sorted(model.enums.items())
         },
     }

@@ -10,3 +10,7 @@ from . import observer_purity         # noqa: F401
 from . import snapshot_completeness   # noqa: F401
 from . import include_layering        # noqa: F401
 from . import lock_discipline         # noqa: F401
+from . import exhaustive_switch       # noqa: F401
+from . import use_after_move          # noqa: F401
+from . import quiesce_before_snapshot  # noqa: F401
+from . import stat_liveness           # noqa: F401

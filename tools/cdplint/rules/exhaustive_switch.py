@@ -1,0 +1,77 @@
+"""exhaustive-switch: switches over project enums cover every value.
+
+The CDP pipeline dispatches on small enums everywhere — ReqType in
+the arbiter, DropReason in the observer, EventKind in trace replay —
+and the failure mode when an enumerator is added (say, a new
+prefetcher kind for the Pangloss table) is always the same: one
+switch keeps compiling, silently routes the new value through
+``default:`` (or falls off the end), and a Fig-9 curve moves with no
+diagnostic. This rule closes that hole using the PR-6 cross-TU
+model: any ``switch`` whose case labels name a project enum (an enum
+*defined* inside the lint run) must either
+
+  - list every enumerator of that enum as a ``case``, or
+  - carry a ``default:`` annotated
+    ``// cdplint: allow(exhaustive-switch) -- reason``
+    stating why a catch-all is the right semantics.
+
+A fully-covered switch may still keep a defensive ``default:`` (the
+name-lookup functions do, for return-value completeness) — that is
+not a finding. Switches whose labels carry no ``Enum::Value``
+qualification (integer dispatch, unscoped enumerators used bare) are
+outside the rule's reach and are skipped, as documented in
+DESIGN.md §10.
+"""
+
+from __future__ import annotations
+
+from cfg import scan_switches
+from engine import Finding, SEV_ERROR, rule
+
+
+@rule
+class ExhaustiveSwitch:
+    id = "exhaustive-switch"
+    severity = SEV_ERROR
+    doc = """A switch whose case labels name a project enum (defined
+    inside the lint run) must cover every enumerator, or carry a
+    'default:' suppressed with
+    '// cdplint: allow(exhaustive-switch) -- reason'. Catches the
+    silently-absorbed new enumerator when ReqType/DropReason/
+    EventKind grow."""
+
+    def check(self, ctx):
+        model = ctx.model
+        if model is None:
+            return
+        for sw in scan_switches(ctx.tokens, 0, len(ctx.tokens)):
+            names = {c.enum_name for c in sw.cases if c.enum_name}
+            if len(names) != 1:
+                continue  # unqualified labels or mixed enums: skip
+            enum_name = names.pop()
+            ei = model.find_enum(enum_name, ctx.path)
+            if ei is None:
+                continue  # not a project enum (std::, system, ...)
+            covered = {c.enumerator for c in sw.cases
+                       if c.enum_name == enum_name}
+            missing = [e for e in ei.enumerators if e not in covered]
+            if not missing:
+                continue
+            shown = ", ".join(missing[:4]) + \
+                (", ..." if len(missing) > 4 else "")
+            d = sw.default
+            if d is None:
+                yield Finding(
+                    self.id, ctx.path, sw.line, sw.col,
+                    f"switch over {enum_name} does not cover "
+                    f"{shown} and has no default; values fall "
+                    f"through the switch silently")
+            else:
+                # Anchored at the default label so an allow() on that
+                # line suppresses through the normal machinery.
+                yield Finding(
+                    self.id, ctx.path, d.line, d.col,
+                    f"default absorbs uncovered enumerator(s) "
+                    f"{shown} of {enum_name}; list them as cases or "
+                    f"annotate the default with "
+                    f"allow(exhaustive-switch)")

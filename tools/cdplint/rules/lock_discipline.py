@@ -1,47 +1,51 @@
-"""lock-discipline: annotated members are only touched under their lock.
+"""lock-discipline v2: path-sensitive lock-state tracking.
 
 The work-stealing pool in src/runner is the one place the simulator
 is genuinely concurrent, and its correctness argument is simple: a
 handful of members are only ever accessed with ``mtx`` held. TSan
 checks that argument dynamically — when a schedule happens to race.
-This rule checks it lexically, with zero execution: a member declared
+PR 6 checked it *lexically*; this version checks it on the cdplint
+CFG, which buys three things the lexical walk could not see:
 
-    std::mutex mtx;
-    std::size_t inflight = 0; // cdplint: guarded_by(mtx)
+  - **conditional locks** — ``if (need) mtx.lock();`` followed by a
+    guarded access joins "held" with "not held"; the must-analysis
+    (intersection join) correctly says *not provably held*;
+  - **early return while held** — a manual ``mtx.lock()`` that
+    escapes through one ``return`` but not the other is reported at
+    the leaking return (may-analysis, union join);
+  - **double lock** — ``mtx.lock()`` (or constructing a guard of
+    ``mtx``) on a path where ``mtx`` may already be held is UB on a
+    non-recursive mutex and is reported at the second acquisition.
 
-may only be referenced, inside the owning class's member-function
-bodies, at a point where a ``std::lock_guard`` / ``unique_lock`` /
-``scoped_lock`` of ``mtx`` constructed in an enclosing scope is still
-alive, or after a bare ``mtx.lock()`` without an intervening
-``mtx.unlock()``. Functions whose *contract* is "caller holds the
-lock" say so at the definition:
+RAII guards stay *lexical intervals*: a ``lock_guard``'s lifetime is
+its scope by construction, so the interval [construction token,
+scope-closing ``}``] is exact, not an approximation. Manual
+``.lock()``/``.unlock()`` — including through a ``unique_lock``
+declared ``std::defer_lock`` — flow through the dataflow solver. A
+member access is legal when *any* of the three sources holds the
+mutex: a requires_lock contract, an enclosing RAII interval, or the
+must-state of the flow analysis.
 
-    // cdplint: requires_lock(mtx)
-    bool ThreadPool::takeTask(...)
-
-and their whole body is treated as locked.
-
-This is a deliberate heuristic, not a thread-safety proof (that is
-what the TSan CI job is for): it does not model lock transfer,
-``condition_variable::wait``'s unlock window, or aliasing through
-references. What it does catch — cheaply, on every lint run — is the
-common regression: a new method (or a quick fix in an old one)
-reading a guarded member with no lock in sight. Accesses through
-*other* objects (``other.inflight``) and from free functions are out
-of scope; single-threaded phases (a constructor running before any
-worker exists) use an ``allow(lock-discipline)`` suppression with the
-reason spelled out.
+Deliberate limits (unchanged from v1, documented in DESIGN.md §10):
+no lock transfer, no ``condition_variable::wait`` unlock window, no
+aliasing through references; ``unique_lock::unlock()`` inside the
+guard's own RAII interval is ignored (a conservative miss, never a
+false positive). TSan remains the proof; this is the zero-execution
+regression net.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+import dataflow
 from engine import Finding, SEV_ERROR, rule
 from lexer import IDENT, PUNCT
 
 _GUARD_CLASSES = {"lock_guard", "unique_lock", "scoped_lock",
                   "shared_lock"}
+# Constructor arguments that are lock-policy tags, not mutexes.
+_LOCK_TAGS = {"std", "defer_lock", "adopt_lock", "try_to_lock"}
 
 
 def _guarded_members(model, ci) -> Dict[str, Tuple[str, object]]:
@@ -73,31 +77,157 @@ def _requires_locks(model, path: str, body,
     return held
 
 
-class _Scope:
-    """Active lock tracking while walking one body lexically."""
+class _BodyLocks:
+    """Lexical pre-pass over one body: RAII intervals, manual
+    lock/unlock events, guard-object-to-mutex bindings, and guarded
+    member access sites — everything the flow analysis consumes."""
 
-    def __init__(self, pre_held: Set[str]):
-        self.pre_held = pre_held
-        self.guards: List[Tuple[str, int, bool]] = []  # (mutex, depth, manual)
+    def __init__(self, toks, lo: int, hi: int, mutex_members: Set[str],
+                 guarded: Dict[str, Tuple[str, object]]):
+        self.raii: List[Tuple[str, int, int]] = []  # (mutex, lo, hi)
+        self.events: List[Tuple[int, str, int]] = []  # (tok, mtx, ±1)
+        self.accesses: List[Tuple[int, str]] = []   # (tok, member)
+        obj2mtx: Dict[str, str] = {}
+        open_raii: List[Tuple[str, int, int]] = []  # (mtx, lo, depth)
+        depth = 0
+        n = min(hi + 1, len(toks))
+        j = lo
+        while j < n:
+            t = toks[j]
+            if t.kind == PUNCT:
+                if t.text == "{":
+                    depth += 1
+                elif t.text == "}":
+                    depth -= 1
+                    still = []
+                    for m, s, d in open_raii:
+                        if d > depth:
+                            self.raii.append((m, s, j))
+                        else:
+                            still.append((m, s, d))
+                    open_raii = still
+                j += 1
+                continue
+            if t.kind != IDENT:
+                j += 1
+                continue
+            if t.text in _GUARD_CLASSES:
+                j = self._consume_guard(toks, j, n, depth, open_raii,
+                                        obj2mtx)
+                continue
+            # Manual m.lock() / m.unlock(), directly on a mutex member
+            # or through a bound guard object (defer_lock idiom).
+            if j + 3 < n and toks[j + 1].kind == PUNCT and \
+                    toks[j + 1].text == "." and \
+                    toks[j + 2].kind == IDENT and \
+                    toks[j + 2].text in ("lock", "unlock") and \
+                    toks[j + 3].kind == PUNCT and \
+                    toks[j + 3].text == "(":
+                name = t.text
+                mtx = obj2mtx.get(name,
+                                  name if name in mutex_members
+                                  else None)
+                if mtx is not None:
+                    delta = 1 if toks[j + 2].text == "lock" else -1
+                    self.events.append((j, mtx, delta))
+                j += 4
+                continue
+            if t.text in guarded:
+                prev = toks[j - 1] if j > 0 else None
+                if prev is not None and prev.kind == PUNCT and \
+                        prev.text in (".", "->"):
+                    base = toks[j - 2] if j >= 2 else None
+                    if not (base is not None and base.kind == IDENT
+                            and base.text == "this"):
+                        j += 1
+                        continue
+                nxt = toks[j + 1] if j + 1 < n else None
+                if nxt is not None and nxt.kind == PUNCT and \
+                        nxt.text == "::":
+                    j += 1
+                    continue
+                self.accesses.append((j, t.text))
+            j += 1
+        for m, s, _ in open_raii:  # unclosed at body end (truncated)
+            self.raii.append((m, s, n))
 
-    def holds(self, mutex: str) -> bool:
-        return mutex in self.pre_held or \
-            any(g[0] == mutex for g in self.guards)
+    @staticmethod
+    def _consume_guard(toks, j, n, depth, open_raii, obj2mtx) -> int:
+        """Parse a guard construction; record its RAII interval (or a
+        defer_lock binding) and return the index to resume at."""
+        k = j + 1
+        if k < n and toks[k].kind == PUNCT and toks[k].text == "<":
+            adepth = 0
+            while k < n:
+                if toks[k].text == "<":
+                    adepth += 1
+                elif toks[k].text == ">":
+                    adepth -= 1
+                    if adepth == 0:
+                        break
+                elif toks[k].text == ">>":
+                    adepth -= 2
+                    if adepth <= 0:
+                        break
+                k += 1
+            k += 1
+        obj = None
+        if k < n and toks[k].kind == IDENT:
+            obj = toks[k].text
+            k += 1
+        if k >= n or toks[k].kind != PUNCT or \
+                toks[k].text not in ("(", "{"):
+            return j + 1  # a mention, not a construction
+        opener = toks[k].text
+        closer = ")" if opener == "(" else "}"
+        pdepth = 0
+        mutexes: List[str] = []
+        deferred = False
+        k2 = k
+        while k2 < n:
+            tt = toks[k2]
+            if tt.kind == PUNCT:
+                if tt.text == opener:
+                    pdepth += 1
+                elif tt.text == closer:
+                    pdepth -= 1
+                    if pdepth == 0:
+                        break
+            elif tt.kind == IDENT:
+                if tt.text == "defer_lock":
+                    deferred = True
+                elif tt.text not in _LOCK_TAGS:
+                    mutexes.append(tt.text)
+            k2 += 1
+        if deferred:
+            # Only a defer_lock guard routes obj.lock()/obj.unlock()
+            # into the flow state; for a live RAII guard those calls
+            # are ignored (conservative miss, never a false
+            # positive) — the interval already says "held".
+            if obj is not None and mutexes:
+                obj2mtx[obj] = mutexes[0]
+        else:
+            for m in mutexes:
+                open_raii.append((m, j, depth))
+        return k2 + 1
 
-    def close_to(self, depth: int) -> None:
-        self.guards = [g for g in self.guards if g[1] <= depth]
+    def in_raii(self, mutex: str, tok: int) -> bool:
+        return any(m == mutex and lo <= tok <= hi
+                   for m, lo, hi in self.raii)
 
 
 @rule
 class LockDiscipline:
     id = "lock-discipline"
     severity = SEV_ERROR
-    doc = """A member annotated '// cdplint: guarded_by(mtx)' next to
-    its std::mutex may only be used inside a scope holding that mutex
-    (a lock_guard/unique_lock/scoped_lock in an enclosing scope, a
-    bare .lock(), or a body marked '// cdplint: requires_lock(mtx)').
-    A zero-execution complement to the TSan job for src/runner's
-    work-stealing pool."""
+    doc = """A member annotated '// cdplint: guarded_by(mtx)' may only
+    be used where that mutex is provably held on every path: under a
+    RAII guard, after a manual .lock() with no path releasing it, or
+    in a body marked '// cdplint: requires_lock(mtx)'. Also reports
+    early returns holding a manual lock and double acquisition on a
+    path where the mutex may already be held. Path-sensitive (CFG +
+    must/may dataflow); the zero-execution complement to the TSan
+    job for src/runner's work-stealing pool."""
 
     def check(self, ctx):
         model = ctx.model
@@ -109,7 +239,7 @@ class LockDiscipline:
             if ci is None:
                 continue
             guarded = _guarded_members(model, ci)
-            if not guarded:
+            if not guarded and not ci.mutex_members:
                 continue
             yield from self._check_body(ctx, model, ci, body, guarded)
 
@@ -152,7 +282,7 @@ class LockDiscipline:
                         "requires_lock must sit on a function "
                         "definition's signature")
 
-    # -- body walk -------------------------------------------------------
+    # -- body analysis ---------------------------------------------------
 
     def _owner(self, model, body):
         lst = model.classes.get(body.cls)
@@ -175,109 +305,141 @@ class LockDiscipline:
 
     def _check_body(self, ctx, model, ci, body, guarded):
         toks = ctx.tokens
-        open_line = toks[body.body_lo].line
-        scope = _Scope(_requires_locks(model, ctx.path, body,
-                                       open_line))
-        depth = 0
-        j = body.body_lo
-        n = min(body.body_hi + 1, len(toks))
-        while j < n:
-            t = toks[j]
-            if t.kind == PUNCT:
-                if t.text == "{":
-                    depth += 1
-                elif t.text == "}":
-                    depth -= 1
-                    scope.close_to(depth)
-                j += 1
-                continue
-            if t.kind != IDENT:
-                j += 1
-                continue
-            # Guard-object construction:
-            #   std::lock_guard<std::mutex> lk(mtx);
-            if t.text in _GUARD_CLASSES:
-                j = self._consume_guard(toks, j, n, depth, scope)
-                continue
-            # Bare mtx.lock() / mtx.unlock().
-            if j + 2 < n and toks[j + 1].kind == PUNCT and \
-                    toks[j + 1].text == "." and \
-                    toks[j + 2].kind == IDENT and \
-                    toks[j + 2].text in ("lock", "unlock"):
-                if toks[j + 2].text == "lock":
-                    scope.guards.append((t.text, depth, True))
-                else:
-                    for k in range(len(scope.guards) - 1, -1, -1):
-                        if scope.guards[k][0] == t.text and \
-                                scope.guards[k][2]:
-                            del scope.guards[k]
-                            break
-                j += 3
-                continue
-            # Guarded-member use?
-            if t.text in guarded:
-                prev = toks[j - 1] if j > 0 else None
-                if prev is not None and prev.kind == PUNCT and \
-                        prev.text in (".", "->"):
-                    base = toks[j - 2] if j >= 2 else None
-                    if not (base is not None and base.kind == IDENT
-                            and base.text == "this"):
-                        j += 1
-                        continue
-                nxt = toks[j + 1] if j + 1 < n else None
-                if nxt is not None and nxt.kind == PUNCT and \
-                        nxt.text == "::":
-                    j += 1
-                    continue
-                mutex = guarded[t.text][0]
-                if not scope.holds(mutex):
-                    yield Finding(
-                        self.id, ctx.path, t.line, t.col,
-                        f"member '{t.text}' of {ci.name} is "
-                        f"guarded_by({mutex}) but this use in "
-                        f"{body.cls}::{body.method} holds no lock "
-                        f"of '{mutex}'")
-            j += 1
+        open_line = toks[body.body_lo].line \
+            if body.body_lo < len(toks) else body.sig_line
+        pre_held = _requires_locks(model, ctx.path, body, open_line)
+        bl = _BodyLocks(toks, body.body_lo, body.body_hi,
+                        ci.mutex_members, guarded)
+        if not (bl.accesses or bl.events or bl.raii):
+            return
+        cfg = ctx.cfg_of(body)
 
-    def _consume_guard(self, toks, j, n, depth, scope) -> int:
-        """From a lock_guard/unique_lock/... token, record the mutexes
-        named in its constructor arguments as held at ``depth``."""
-        k = j + 1
-        # Template argument list.
-        if k < n and toks[k].kind == PUNCT and toks[k].text == "<":
-            adepth = 0
-            while k < n:
-                if toks[k].text == "<":
-                    adepth += 1
-                elif toks[k].text == ">":
-                    adepth -= 1
-                    if adepth == 0:
-                        break
-                elif toks[k].text == ">>":
-                    adepth -= 2
-                    if adepth <= 0:
-                        break
-                k += 1
-            k += 1
-        # Variable name.
-        if k < n and toks[k].kind == IDENT:
-            k += 1
-        if k >= n or toks[k].kind != PUNCT or \
-                toks[k].text not in ("(", "{"):
-            return j + 1  # a mention, not a construction
-        closer = ")" if toks[k].text == "(" else "}"
-        opener = toks[k].text
-        pdepth = 0
-        k2 = k
-        while k2 < n:
-            if toks[k2].kind == PUNCT:
-                if toks[k2].text == opener:
-                    pdepth += 1
-                elif toks[k2].text == closer:
-                    pdepth -= 1
-                    if pdepth == 0:
-                        break
-            elif toks[k2].kind == IDENT:
-                scope.guards.append((toks[k2].text, depth, False))
-            k2 += 1
-        return k2 + 1
+        def stmt_transfer(rng, state: FrozenSet[str]
+                          ) -> FrozenSet[str]:
+            lo, hi = rng
+            s = set(state)
+            for idx, mtx, delta in bl.events:
+                if lo <= idx < hi:
+                    (s.add if delta > 0 else s.discard)(mtx)
+            return frozenset(s)
+
+        def transfer(block, state):
+            for rng in block.stmts:
+                state = stmt_transfer(rng, state)
+            return state
+
+        must_in, _ = dataflow.solve_forward(
+            cfg, frozenset(), transfer, lambda a, b: a & b)
+        may_in, may_out = dataflow.solve_forward(
+            cfg, frozenset(), transfer, lambda a, b: a | b)
+
+        def at_tok(pre: FrozenSet[str], rng, tok: int
+                   ) -> FrozenSet[str]:
+            """State just before token ``tok`` inside statement
+            ``rng``, replaying the statement's earlier events."""
+            s = set(pre)
+            for idx, mtx, delta in bl.events:
+                if rng[0] <= idx < tok:
+                    (s.add if delta > 0 else s.discard)(mtx)
+            return frozenset(s)
+
+        findings: List[Finding] = []
+        fell_off: Set[str] = set()
+        exit_preds = set(cfg.block(cfg.exit).preds)
+
+        for bid in cfg.rpo():
+            if bid == cfg.exit:
+                continue
+            block = cfg.block(bid)
+            must0, may0 = must_in.get(bid), may_in.get(bid)
+            if must0 is None or may0 is None:
+                continue
+            must_states = list(dataflow.states_at(
+                block, must0, stmt_transfer))
+            may_states = list(dataflow.states_at(
+                block, may0, stmt_transfer))
+            for (rng, must_pre), (_, may_pre) in zip(must_states,
+                                                     may_states):
+                lo, hi = rng
+                head = toks[lo].text if lo < len(toks) else ""
+                # Guarded member access: must-held check.
+                for tok, member in bl.accesses:
+                    if not (lo <= tok < hi):
+                        continue
+                    mutex = guarded[member][0]
+                    if mutex in pre_held or \
+                            bl.in_raii(mutex, tok) or \
+                            mutex in at_tok(must_pre, rng, tok):
+                        continue
+                    t = toks[tok]
+                    findings.append(Finding(
+                        self.id, ctx.path, t.line, t.col,
+                        f"member '{member}' of {ci.name} is "
+                        f"guarded_by({mutex}) but this use in "
+                        f"{body.cls}::{body.method} is not under "
+                        f"'{mutex}' on every path reaching it"))
+                # Double lock: may-held check at each acquisition.
+                for idx, mtx, delta in bl.events:
+                    if delta < 0 or not (lo <= idx < hi):
+                        continue
+                    if mtx in pre_held or \
+                            mtx in at_tok(may_pre, rng, idx) or \
+                            any(m == mtx and s < idx <= e
+                                for m, s, e in bl.raii):
+                        t = toks[idx]
+                        findings.append(Finding(
+                            self.id, ctx.path, t.line, t.col,
+                            f"'{mtx}.lock()' on a path where "
+                            f"'{mtx}' may already be held "
+                            f"(double lock is undefined on a "
+                            f"non-recursive mutex)"))
+                for m, s, e in bl.raii:
+                    if not (lo <= s < hi):
+                        continue
+                    if m in pre_held or \
+                            m in at_tok(may_pre, rng, s) or \
+                            any(m2 == m and s2 < s <= e2
+                                for m2, s2, e2 in bl.raii
+                                if (m2, s2, e2) != (m, s, e)):
+                        t = toks[s]
+                        findings.append(Finding(
+                            self.id, ctx.path, t.line, t.col,
+                            f"guard of '{m}' constructed on a path "
+                            f"where '{m}' may already be held "
+                            f"(double lock)"))
+                # Early return holding a manual lock.
+                if head == "return":
+                    leak = at_tok(may_pre, rng, lo)
+                    for mtx in sorted(leak):
+                        t = toks[lo]
+                        findings.append(Finding(
+                            self.id, ctx.path, t.line, t.col,
+                            f"returns while '{mtx}' is still "
+                            f"manually locked on some path; unlock "
+                            f"first or use a lock_guard"))
+            # Fall-off-the-end while manually locked.
+            if bid in exit_preds:
+                last_head = ""
+                if block.stmts:
+                    lt = block.stmts[-1][0]
+                    last_head = toks[lt].text if lt < len(toks) else ""
+                if last_head not in ("return", "throw", "goto"):
+                    out = may_out.get(bid)
+                    if out:
+                        fell_off.update(out)
+        if fell_off:
+            close = min(body.body_hi, len(toks) - 1)
+            t = toks[close]
+            for mtx in sorted(fell_off):
+                findings.append(Finding(
+                    self.id, ctx.path, t.line, t.col,
+                    f"function ends while '{mtx}' is still "
+                    f"manually locked on some path"))
+
+        seen: Set[Tuple[int, int, str]] = set()
+        for f in sorted(findings,
+                        key=lambda f: (f.line, f.col, f.message)):
+            key = (f.line, f.col, f.message)
+            if key not in seen:
+                seen.add(key)
+                yield f

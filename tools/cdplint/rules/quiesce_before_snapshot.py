@@ -1,0 +1,286 @@
+"""quiesce-before-snapshot: saveState on a MemorySystem needs a drain.
+
+Checkpoints are only meaningful at quiesce points: MSHRs empty, no
+pending fills, no prefetches in flight. ``MemorySystem::saveState``
+enforces that *dynamically* — it throws ``SnapshotError`` on a
+non-quiesced machine — but the throw fires at checkpoint time, deep
+into a sweep, hours after the missing ``drainAll()`` was written.
+This rule moves the check to lint time.
+
+Obligation: every call of ``saveState`` on a receiver declared as a
+``MemorySystem`` (value, reference, pointer, or smart pointer — a
+token scan over every stream collects the receiver names) must be
+*dominated* by a drain in the same function: on every CFG path from
+entry to the call there is a ``drainAll(...)`` call or a call to a
+**draining method** — one whose own body provably drains on every
+path to its exit (``Simulator::quiesce()`` earns that status
+automatically; the set is a fixpoint over the name-based call
+graph). The analysis is a must-dataflow on the cdplint CFG with the
+two-point drained/unknown lattice, intersection join.
+
+Functions whose *contract* is "caller has quiesced" say so at the
+definition::
+
+    // cdplint: requires_quiesced(memsys)
+    void
+    Simulator::saveCheckpoint(std::ostream &os) const
+
+which discharges the body's obligation and transfers it to every
+caller: a call to an annotated method is itself a snapshot site that
+must be dominated by a drain. An *unannotated* function with an
+undrained call gets one finding at the call site and does not
+propagate to its callers — the defect is reported where the fix
+belongs, not cascaded up the call tree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import cfg as cfgmod
+import dataflow
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT
+
+# Tokens that may sit between 'MemorySystem' and the declared name.
+_DECL_SKIP_PUNCT = {">", ">>", "*", "&", "&&"}
+_DECL_SKIP_IDENT = {"const"}
+
+# Per-program caches (safe: workers fork per file but the program
+# model is identical in every worker, and rules are pure functions
+# of it).
+_PROGRAM_FACTS: Dict[int, dict] = {}
+
+
+def _program_facts(prog) -> dict:
+    key = id(prog)
+    if key not in _PROGRAM_FACTS:
+        _PROGRAM_FACTS.clear()  # one program per process lifetime
+        _PROGRAM_FACTS[key] = {
+            "receivers": _memsys_receivers(prog),
+            "annotated": _annotated_methods(prog),
+            "drains": _draining_methods(prog),
+        }
+    return _PROGRAM_FACTS[key]
+
+
+def _memsys_receivers(prog) -> Set[str]:
+    """Names declared with type MemorySystem anywhere in the run."""
+    out: Set[str] = set()
+    for path in sorted(prog.streams):
+        toks = prog.streams[path]
+        for j, t in enumerate(toks):
+            if t.kind != IDENT or t.text != "MemorySystem":
+                continue
+            k = j + 1
+            while k < len(toks) and (
+                    (toks[k].kind == PUNCT and
+                     toks[k].text in _DECL_SKIP_PUNCT) or
+                    (toks[k].kind == IDENT and
+                     toks[k].text in _DECL_SKIP_IDENT)):
+                k += 1
+            if k < len(toks) and toks[k].kind == IDENT:
+                out.add(toks[k].text)
+    return out
+
+
+def _body_annotated(prog, body, open_line: int) -> bool:
+    """requires_quiesced bound to this definition's signature.
+    Accepts the line above the name too: with the return type on its
+    own line, a standalone comment targets that line."""
+    for a in prog.annotations.get(body.path, []):
+        if a.kind != "requires_quiesced":
+            continue
+        if body.sig_line - 1 <= a.target_line <= open_line:
+            return True
+    return False
+
+
+def _annotated_methods(prog) -> Set[str]:
+    out: Set[str] = set()
+    for path in sorted(prog.bodies):
+        toks = prog.streams.get(path, [])
+        for b in prog.bodies[path]:
+            open_line = toks[b.body_lo].line \
+                if b.body_lo < len(toks) else b.sig_line
+            if _body_annotated(prog, b, open_line):
+                out.add(b.method)
+    return out
+
+
+def _call_sites(toks, lo: int, hi: int, names: Set[str]
+                ) -> List[int]:
+    """Token indexes where a method in ``names`` is called (with or
+    without an explicit receiver) inside toks[lo:hi)."""
+    out = []
+    n = min(hi, len(toks))
+    for j in range(lo, n):
+        t = toks[j]
+        if t.kind != IDENT or t.text not in names:
+            continue
+        if j + 1 >= n or toks[j + 1].kind != PUNCT or \
+                toks[j + 1].text != "(":
+            continue
+        prev = toks[j - 1] if j > 0 else None
+        if prev is not None and prev.kind == PUNCT and \
+                prev.text == "::":
+            continue  # qualified name: definition or member pointer
+        out.append(j)
+    return out
+
+
+def _drain_sites(toks, lo: int, hi: int, drains: Set[str]
+                 ) -> List[int]:
+    return _call_sites(toks, lo, hi, {"drainAll"} | drains)
+
+
+def _body_drains(toks, body, drains: Set[str]) -> bool:
+    """True when every path from entry to exit passes a drain."""
+    sites = _drain_sites(toks, body.body_lo, body.body_hi, drains)
+    if not sites:
+        return False
+    c = cfgmod.build_cfg(toks, body.body_lo, body.body_hi)
+
+    def transfer(block, state: bool) -> bool:
+        if state:
+            return True
+        return any(lo <= s < hi
+                   for lo, hi in block.stmts for s in sites)
+
+    _, out_s = dataflow.solve_forward(
+        c, False, transfer, lambda a, b: a and b)
+    exit_in: Optional[bool] = None
+    for p in c.block(c.exit).preds:
+        o = out_s.get(p)
+        if o is None:
+            continue
+        exit_in = o if exit_in is None else (exit_in and o)
+    return bool(exit_in)
+
+
+def _draining_methods(prog) -> Set[str]:
+    """Fixpoint: methods whose bodies drain on every path, where a
+    call to an already-known draining method counts as a drain."""
+    drains: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for path in sorted(prog.bodies):
+            toks = prog.streams.get(path, [])
+            for b in prog.bodies[path]:
+                if b.method in drains or b.method == "drainAll":
+                    continue
+                if _body_drains(toks, b, drains):
+                    drains.add(b.method)
+                    changed = True
+    return drains
+
+
+@rule
+class QuiesceBeforeSnapshot:
+    id = "quiesce-before-snapshot"
+    severity = SEV_ERROR
+    doc = """A call of saveState on a MemorySystem — or of any method
+    annotated '// cdplint: requires_quiesced(obj)' — must be
+    dominated, in the same function, by memsys->drainAll(...) or a
+    call to a method that provably drains on every path (e.g.
+    Simulator::quiesce()). Moves MemorySystem::saveState's runtime
+    SnapshotError to lint time. Annotating a definition with
+    requires_quiesced discharges its body and transfers the
+    obligation to its callers."""
+
+    def check(self, ctx):
+        model = ctx.model
+        if model is None:
+            return
+        facts = _program_facts(model)
+        yield from self._annotation_hygiene(ctx, model)
+        targets = facts["annotated"]
+        for body in model.bodies.get(ctx.path, []):
+            open_line = ctx.tokens[body.body_lo].line \
+                if body.body_lo < len(ctx.tokens) else body.sig_line
+            if _body_annotated(model, body, open_line):
+                continue  # contract transfers to callers
+            yield from self._check_body(ctx, body, facts, targets)
+
+    def _annotation_hygiene(self, ctx, model):
+        ranges = []
+        for b in model.bodies.get(ctx.path, []):
+            open_line = ctx.tokens[b.body_lo].line \
+                if b.body_lo < len(ctx.tokens) else b.sig_line
+            ranges.append((b.sig_line - 1, open_line))
+        for a in model.annotations.get(ctx.path, []):
+            if a.kind != "requires_quiesced":
+                continue
+            if not any(lo <= a.target_line <= hi for lo, hi in ranges):
+                yield Finding(
+                    self.id, ctx.path, a.comment_line, 1,
+                    "requires_quiesced must sit on a function "
+                    "definition's signature")
+
+    def _check_body(self, ctx, body, facts, targets: Set[str]):
+        toks = ctx.tokens
+        receivers = facts["receivers"]
+        sites: List[Tuple[int, str]] = []
+        n = min(body.body_hi, len(toks))
+        for j in _call_sites(toks, body.body_lo, n, {"saveState"}):
+            prev = toks[j - 1] if j > 0 else None
+            base = toks[j - 2] if j >= 2 else None
+            if prev is not None and prev.kind == PUNCT and \
+                    prev.text in (".", "->") and \
+                    base is not None and base.kind == IDENT and \
+                    base.text in receivers:
+                sites.append((j, f"{base.text}{prev.text}saveState"))
+        if targets:
+            for j in _call_sites(toks, body.body_lo, n, targets):
+                sites.append((j, f"{toks[j].text} (annotated "
+                                 f"requires_quiesced)"))
+        if not sites:
+            return
+        sites.sort()
+        drain_sites = _drain_sites(toks, body.body_lo, n,
+                                   facts["drains"])
+        cfg = ctx.cfg_of(body)
+
+        def stmt_transfer(rng, state: bool) -> bool:
+            if state:
+                return True
+            lo, hi = rng
+            return any(lo <= s < hi for s in drain_sites)
+
+        def transfer(block, state):
+            for rng in block.stmts:
+                state = stmt_transfer(rng, state)
+            return state
+
+        in_s, _ = dataflow.solve_forward(
+            cfg, False, transfer, lambda a, b: a and b)
+
+        reported: Set[int] = set()
+        for bid in cfg.rpo():
+            state = in_s.get(bid)
+            if state is None:
+                continue
+            for rng, pre in dataflow.states_at(
+                    cfg.block(bid), state, stmt_transfer):
+                lo, hi = rng
+                for j, desc in sites:
+                    if not (lo <= j < hi) or j in reported:
+                        continue
+                    drained = pre or any(lo <= s < j
+                                         for s in drain_sites)
+                    if not drained:
+                        t = toks[j]
+                        reported.add(j)
+                        yield Finding(
+                            self.id, ctx.path, t.line, t.col,
+                            f"call of {desc} in "
+                            f"{body.cls}::{body.method} is not "
+                            f"dominated by drainAll()/quiesce(); "
+                            f"drain first, or annotate this "
+                            f"definition with "
+                            f"requires_quiesced(...) to pass the "
+                            f"obligation to callers")
+                    else:
+                        reported.add(j)
+        # Unreached sites (dead code): no obligation.

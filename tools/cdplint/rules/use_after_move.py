@@ -1,0 +1,216 @@
+"""use-after-move: moved-from locals read before reassignment.
+
+``std::move`` in this codebase hands buffers between pipeline stages
+(a fill payload into the MSHR, a task closure into the pool's deque),
+and the historical bug shape is a *retry path*: the happy path moves
+the buffer out, an error branch loops back and reads it again. That
+is invisible to lexical linting — both uses look fine in isolation —
+and exactly what a path-sensitive pass sees at once.
+
+The analysis runs per function body on the cdplint CFG with a may-
+lattice (power set of moved variable names, union join): a variable
+is *possibly moved* at a point if any path from entry moves it
+without an intervening reassignment. A read of a possibly-moved
+variable is the finding; ``std::move(x)`` of a possibly-moved ``x``
+is the same finding (double move). Reassignment — ``x = ...`` or a
+refilling call ``x.clear() / x.reset() / x.assign(...) / x.emplace
+(...)`` — returns the variable to the valid state, matching the
+standard's moved-from contract (valid but unspecified; assignment is
+the only portable way back).
+
+Scope limits, chosen to keep zero false positives on real code:
+only ``std::move(ident)`` of a plain identifier is tracked; members
+of the enclosing class are excluded (another method may refill
+them); reads inside the statement that performs the move are judged
+against the state *before* the statement, so ``use(x, std::move(x))``
+is (conservatively) not flagged. Bodies never calling std::move are
+skipped outright.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import dataflow
+from engine import Finding, SEV_ERROR, rule
+from lexer import IDENT, PUNCT
+
+# receiver.method(...) calls that reset a moved-from object to a
+# known-good state.
+_REFILL_METHODS = {"clear", "reset", "assign", "emplace"}
+
+# Keywords that precede an identifier without declaring it; anything
+# else in identifier position before 'x ;' / 'x (' / 'x {' is a type
+# name, which makes the statement a fresh declaration of x (the loop
+# body that re-declares its locals every iteration).
+_NOT_A_TYPE = {"return", "co_return", "co_yield", "co_await",
+               "throw", "delete", "goto", "new", "else", "case",
+               "do", "typedef", "using", "sizeof", "decltype",
+               "operator", "break", "continue"}
+
+
+def _moves_in(toks, lo: int, hi: int) -> List[Tuple[int, str]]:
+    """(token index of the identifier, name) for each
+    ``std::move(ident)`` with a bare-identifier argument."""
+    out = []
+    j = lo
+    while j + 5 < hi:
+        if (toks[j].kind == IDENT and toks[j].text == "std" and
+                toks[j + 1].kind == PUNCT and
+                toks[j + 1].text == "::" and
+                toks[j + 2].kind == IDENT and
+                toks[j + 2].text == "move" and
+                toks[j + 3].kind == PUNCT and
+                toks[j + 3].text == "(" and
+                toks[j + 4].kind == IDENT and
+                toks[j + 5].kind == PUNCT and
+                toks[j + 5].text == ")"):
+            out.append((j + 4, toks[j + 4].text))
+            j += 6
+            continue
+        j += 1
+    return out
+
+
+def _kills_in(toks, lo: int, hi: int, names: Set[str]
+              ) -> List[Tuple[int, str]]:
+    """(token index, name) where a tracked name is reassigned or
+    refilled within the statement."""
+    out = []
+    for j in range(lo, hi):
+        t = toks[j]
+        if t.kind != IDENT or t.text not in names:
+            continue
+        prev = toks[j - 1] if j > lo else None
+        if prev is not None and prev.kind == PUNCT and \
+                prev.text in (".", "->"):
+            continue  # someone else's member named like our local
+        nxt = toks[j + 1] if j + 1 < hi else None
+        if nxt is None or nxt.kind != PUNCT:
+            continue
+        if nxt.text == "=":
+            out.append((j, t.text))
+        elif nxt.text in (";", "(", "{") and prev is not None and \
+                ((prev.kind == IDENT and
+                  prev.text not in _NOT_A_TYPE) or
+                 (prev.kind == PUNCT and
+                  prev.text in (">", ">>", "*", "&", "&&"))):
+            # 'Type x;' / 'Type x(...);' / 'Type x{...};': a fresh
+            # declaration constructs a brand-new object under the
+            # tracked name.
+            out.append((j, t.text))
+        elif nxt.text in (".", "->") and j + 3 < hi and \
+                toks[j + 2].kind == IDENT and \
+                toks[j + 2].text in _REFILL_METHODS and \
+                toks[j + 3].kind == PUNCT and toks[j + 3].text == "(":
+            out.append((j, t.text))
+    return out
+
+
+@rule
+class UseAfterMove:
+    id = "use-after-move"
+    severity = SEV_ERROR
+    doc = """A local moved from by std::move(x) is read again — or
+    moved again — on some path before being reassigned (x = ...) or
+    refilled (x.clear()/reset()/assign()/emplace()). Path-sensitive:
+    catches the retry-loop re-read that lexical scanning cannot."""
+
+    def check(self, ctx):
+        model = ctx.model
+        if model is None:
+            return
+        for body in model.bodies.get(ctx.path, []):
+            n = min(body.body_hi, len(ctx.tokens))
+            moves = _moves_in(ctx.tokens, body.body_lo, n)
+            if not moves:
+                continue
+            members = self._member_names(model, body)
+            tracked = {name for _, name in moves
+                       if name not in members}
+            if not tracked:
+                continue
+            yield from self._check_body(ctx, body, tracked)
+
+    @staticmethod
+    def _member_names(model, body) -> Set[str]:
+        lst = model.classes.get(body.cls)
+        if not lst:
+            short = body.cls.rsplit("::", 1)[-1]
+            for name in sorted(model.classes):
+                if name.rsplit("::", 1)[-1] == short:
+                    lst = model.classes[name]
+                    break
+        out: Set[str] = set()
+        for ci in lst or []:
+            out.update(m.name for m in ci.members)
+        return out
+
+    def _check_body(self, ctx, body, tracked: Set[str]):
+        toks = ctx.tokens
+        cfg = ctx.cfg_of(body)
+
+        def stmt_transfer(rng, state: FrozenSet[str]
+                          ) -> FrozenSet[str]:
+            lo, hi = rng
+            s = set(state)
+            s.difference_update(
+                name for _, name in _kills_in(toks, lo, hi, tracked))
+            s.update(name for _, name in _moves_in(toks, lo, hi)
+                     if name in tracked)
+            return frozenset(s)
+
+        def transfer(block, state):
+            for rng in block.stmts:
+                state = stmt_transfer(rng, state)
+            return state
+
+        in_s, _ = dataflow.solve_forward(
+            cfg, frozenset(), transfer,
+            lambda a, b: a | b)
+
+        findings: List[Finding] = []
+        for bid in cfg.rpo():
+            state = in_s.get(bid)
+            if state is None:
+                continue
+            for rng, pre in dataflow.states_at(
+                    cfg.block(bid), state, stmt_transfer):
+                if pre:
+                    findings.extend(
+                        self._reads_of_moved(ctx, body, rng, pre))
+        # One finding per (variable, line): the same read site can sit
+        # in a loop head visited via several statement ranges.
+        seen: Set[Tuple[str, int, int]] = set()
+        for f in sorted(findings, key=lambda f: (f.line, f.col)):
+            key = (f.message, f.line, f.col)
+            if key not in seen:
+                seen.add(key)
+                yield f
+
+    def _reads_of_moved(self, ctx, body, rng, moved: FrozenSet[str]):
+        toks = ctx.tokens
+        lo, hi = rng
+        killed = {j for j, _ in _kills_in(toks, lo, hi, set(moved))}
+        j = lo
+        while j < hi:
+            t = toks[j]
+            if t.kind != IDENT or t.text not in moved or j in killed:
+                j += 1
+                continue
+            prev = toks[j - 1] if j > 0 else None
+            if prev is not None and prev.kind == PUNCT and \
+                    prev.text in (".", "->"):
+                j += 1
+                continue
+            nxt = toks[j + 1] if j + 1 < len(toks) else None
+            if nxt is not None and nxt.kind == PUNCT and \
+                    nxt.text == "::":
+                j += 1
+                continue
+            yield Finding(
+                self.id, ctx.path, t.line, t.col,
+                f"'{t.text}' is used here but was moved from on a "
+                f"path reaching this point; reassign or refill it "
+                f"before reuse (in {body.cls}::{body.method})")
+            j += 1

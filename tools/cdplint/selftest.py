@@ -32,15 +32,19 @@ _FINDING_RE = re.compile(
 # the suppression/waiver machinery (which is rule-agnostic) engages.
 RULE_GROUPS = [
     "cycle-arith",
+    "exhaustive-switch",
     "include-layering",
     "lock-discipline",
     "nondeterminism",
     "observer-purity",
+    "quiesce-before-snapshot",
     "raw-new-delete",
     "snapshot-completeness",
+    "stat-liveness",
     "stat-registered",
     "static-mutable",
     "unordered-output",
+    "use-after-move",
 ]
 
 
@@ -255,6 +259,103 @@ class JobsDeterminism(unittest.TestCase):
                          "text output must not depend on --jobs")
         self.assertEqual(runs["1"][2], runs["4"][2],
                          "SARIF bytes must not depend on --jobs")
+
+
+class DiffMode(unittest.TestCase):
+    """--diff <ref> pins the differential contract: its findings are
+    a strict subset of the full run (exactly the ones attributable to
+    changed lines), byte-identical at any --jobs count, and refused
+    in combination with --write-baseline."""
+
+    NEW_FUNC = ("\nint *\nfreshLeak()\n{\n"
+                "    return new int; // planted by DiffMode\n}\n")
+
+    def _scratch_repo(self, work):
+        """Copy the diffmode fixture, commit it, append a new finding
+        to touched.cc only. Returns the line of the fresh finding."""
+        shutil.copytree(FIXTURES / "diffmode" / "src", work / "src")
+        def git(*args):
+            subprocess.run(
+                ["git", "-c", "user.email=selftest@cdplint",
+                 "-c", "user.name=cdplint selftest", *args],
+                cwd=str(work), capture_output=True, check=True)
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-q", "-m", "seed")
+        target = work / "src" / "touched.cc"
+        with target.open("a") as f:
+            f.write(self.NEW_FUNC)
+        return len(target.read_text().splitlines()) - 1
+
+    def test_diff_is_strict_subset_of_full_run(self):
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td)
+            fresh_line = self._scratch_repo(work)
+
+            code, full_out, _ = run_lint(
+                ["--no-baseline", "src"], cwd=work)
+            self.assertEqual(code, 1)
+            full = findings_of(full_out)
+            # The committed findings plus the planted one.
+            self.assertIn(("src/touched.cc", 7, "raw-new-delete"),
+                          full)
+            self.assertIn(("src/untouched.cc", 6, "raw-new-delete"),
+                          full)
+
+            code, diff_out, err = run_lint(
+                ["--no-baseline", "--diff", "HEAD", "src"], cwd=work)
+            self.assertEqual(code, 1, diff_out + err)
+            diff = findings_of(diff_out)
+            self.assertEqual(
+                diff,
+                {("src/touched.cc", fresh_line, "raw-new-delete")},
+                "diff mode must report exactly the findings in "
+                "changed regions\n" + diff_out)
+            self.assertTrue(diff < full,
+                            "--diff output must be a strict subset "
+                            "of the full run")
+
+    def test_diff_output_identical_at_any_jobs(self):
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td)
+            self._scratch_repo(work)
+            outs = {}
+            for jobs in ("1", "4"):
+                code, out, _ = run_lint(
+                    ["--no-baseline", "--diff", "HEAD",
+                     "--jobs", jobs, "src"], cwd=work)
+                outs[jobs] = (code, out)
+            self.assertEqual(outs["1"], outs["4"],
+                             "--diff text output must not depend "
+                             "on --jobs")
+
+    def test_untracked_file_is_fully_linted(self):
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td)
+            self._scratch_repo(work)
+            fresh = work / "src" / "brand_new.cc"
+            fresh.write_text("int *f() { return new int; }\n")
+            code, out, _ = run_lint(
+                ["--no-baseline", "--diff", "HEAD", "src"], cwd=work)
+            self.assertEqual(code, 1)
+            self.assertIn(("src/brand_new.cc", 1, "raw-new-delete"),
+                          findings_of(out))
+
+    def test_diff_rejects_write_baseline(self):
+        code, _, err = run_lint(
+            ["--diff", "HEAD", "--write-baseline", "src"], cwd=REPO)
+        self.assertEqual(code, 2)
+        self.assertIn("mutually exclusive", err)
+
+    def test_bad_ref_fails_loudly(self):
+        with tempfile.TemporaryDirectory() as td:
+            work = Path(td)
+            self._scratch_repo(work)
+            code, _, err = run_lint(
+                ["--no-baseline", "--diff", "no-such-ref", "src"],
+                cwd=work)
+            self.assertEqual(code, 2)
+            self.assertIn("git diff", err)
 
 
 class LayerDagMatchesDocs(unittest.TestCase):

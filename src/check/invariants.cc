@@ -66,7 +66,8 @@ dumpCacheSet(const Cache &c, unsigned set, const char *who)
 }
 
 void
-auditCache(const Cache &c, unsigned max_depth, const char *who)
+auditCache(const Cache &c, unsigned max_depth,
+           [[maybe_unused]] const char *who)
 {
     const auto &lines = Access::lines(c);
     const unsigned ways = c.numWays();
@@ -127,7 +128,7 @@ dumpMshr(const MshrFile &m, const char *who)
 
 void
 auditMshr(const MshrFile &m, unsigned content_depth_max,
-          const char *who)
+          [[maybe_unused]] const char *who)
 {
     CDP_CHECK_MSG(Access::entries(m).size() <= Access::capacity(m),
                   dumpMshr(m, who));
@@ -179,7 +180,7 @@ dumpArbiter(const QueuedArbiter &a, const char *who)
 }
 
 void
-auditArbiter(const QueuedArbiter &a, const char *who)
+auditArbiter(const QueuedArbiter &a, [[maybe_unused]] const char *who)
 {
     std::size_t resident = 0;
     for (unsigned p = 0; p < numPriorities; ++p) {
@@ -221,7 +222,8 @@ dumpTlb(const Tlb &t, const char *who)
 }
 
 void
-auditTlb(const Tlb &t, const PageTable &pt, const char *who)
+auditTlb(const Tlb &t, const PageTable &pt,
+         [[maybe_unused]] const char *who)
 {
     for (const auto &e : Access::tlbEntries(t)) {
         if (!e.valid)

@@ -10,8 +10,11 @@ namespace cdp
 std::string
 CdpConfig::widthLabel() const
 {
-    return "p" + std::to_string(prevLines) + ".n" +
-           std::to_string(nextLines);
+    std::string label = "p";
+    label += std::to_string(prevLines);
+    label += ".n";
+    label += std::to_string(nextLines);
+    return label;
 }
 
 ContentPrefetcher::ContentPrefetcher(const CdpConfig &cfg,

@@ -31,6 +31,16 @@ Vam::Vam(const VamConfig &cfg) : cfg(cfg)
                      : ((1u << cfg.compareBits) - 1);
     filterShift = 32 - cfg.compareBits - cfg.filterBits;
     filterMask = cfg.filterBits ? ((1u << cfg.filterBits) - 1) : 0;
+    level = detectSimdLevel();
+}
+
+void
+Vam::forceSimdLevel(VamSimdLevel l)
+{
+    if (static_cast<int>(l) > static_cast<int>(detectSimdLevel()))
+        throw std::invalid_argument(
+            "Vam: requested SIMD level unsupported by this build/host");
+    level = l;
 }
 
 VamVerdict
@@ -65,7 +75,7 @@ Vam::classify(std::uint32_t word, Addr trigger_ea) const
 }
 
 std::vector<Addr>
-Vam::scanLine(const std::uint8_t *line, Addr trigger_ea) const
+Vam::scanLineScalar(const std::uint8_t *line, Addr trigger_ea) const
 {
     std::vector<Addr> out;
     for (unsigned off = 0; off + wordBytes <= lineBytes;
@@ -74,6 +84,30 @@ Vam::scanLine(const std::uint8_t *line, Addr trigger_ea) const
         std::memcpy(&word, line + off, wordBytes);
         if (isCandidate(word, trigger_ea))
             out.push_back(static_cast<Addr>(word));
+    }
+    return out;
+}
+
+std::vector<Addr>
+Vam::scanLine(const std::uint8_t *line, Addr trigger_ea) const
+{
+    if (level == VamSimdLevel::Scalar)
+        return scanLineScalar(line, trigger_ea);
+
+    // The kernel classifies every word offset of the line at once;
+    // walking the stepped offsets against the mask reproduces the
+    // scalar path's output order and values exactly.
+    const std::uint64_t mask = level == VamSimdLevel::Avx2
+                                   ? candidateMaskAvx2(line, trigger_ea)
+                                   : candidateMaskSse2(line, trigger_ea);
+    std::vector<Addr> out;
+    for (unsigned off = 0; off + wordBytes <= lineBytes;
+         off += cfg.scanStep) {
+        if ((mask >> off) & 1u) {
+            std::uint32_t word;
+            std::memcpy(&word, line + off, wordBytes);
+            out.push_back(static_cast<Addr>(word));
+        }
     }
     return out;
 }

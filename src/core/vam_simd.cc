@@ -1,0 +1,203 @@
+/**
+ * @file
+ * SIMD kernels behind Vam::scanLine (see core/vam.hh for the dispatch
+ * contract). Each kernel evaluates the VAM predicate of classify()
+ * lane-parallel over every word offset of a line and returns a bitmap
+ * of candidate byte offsets; Vam::scanLine then materializes the
+ * stepped-offset candidate list from the mask, so the output is
+ * bit-exact with scanLineScalar for every legal VamConfig
+ * (tests/test_vam_simd.cc enumerates the lattice).
+ *
+ * Lane layout: the line is copied into a zero-padded 80-byte aligned
+ * buffer so that for each residue r in [0,4) the words at byte
+ * offsets r, r+4, ..., r+60 load as consecutive dword lanes of
+ * unaligned vector loads at buf+r+16k (SSE2) / buf+r+32k (AVX2). The
+ * widest load touches byte 67, inside the padded buffer, which keeps
+ * every access in-bounds under AddressSanitizer. Padding words
+ * (offsets 61..63) may set mask bits; scanLine never reads past
+ * offset lineBytes - wordBytes, so those bits are dead.
+ *
+ * The predicate per lane, mirroring Vam::classify():
+ *   aligned   = (word & alignMask) == 0
+ *   top       = word >> compareShift          (compareShift in [1,31])
+ *   topEq     = top == ea_top
+ *   filt      = (word >> filterShift) & filterMask
+ *   reject    = (top == 0 && filt == 0) ||
+ *               (top == compareMax && filt == filterMask)
+ *   candidate = aligned && topEq && !reject
+ * With filterBits == 0 both region tests degenerate to "always
+ * reject", exactly as in the scalar code.
+ */
+
+#include "core/vam.hh"
+
+#include <cstring>
+#include <stdexcept>
+
+#if CDP_SIMD_ENABLED
+#include <immintrin.h>
+#endif
+
+namespace cdp
+{
+
+#if CDP_SIMD_ENABLED
+
+static_assert(lineBytes == 64 && wordBytes == 4,
+              "SIMD VAM kernels assume 64-byte lines of 32-bit words");
+
+namespace
+{
+
+/** Scatter 4 lane bits to mask bits 0/4/8/12 (lane stride 4 bytes). */
+inline std::uint64_t
+spread4(unsigned m)
+{
+    return static_cast<std::uint64_t>(m & 1u) |
+           (static_cast<std::uint64_t>((m >> 1) & 1u) << 4) |
+           (static_cast<std::uint64_t>((m >> 2) & 1u) << 8) |
+           (static_cast<std::uint64_t>((m >> 3) & 1u) << 12);
+}
+
+/** Scatter 8 lane bits to mask bits 0,4,...,28. */
+inline std::uint64_t
+spread8(unsigned m)
+{
+    return spread4(m & 0xfu) | (spread4(m >> 4) << 16);
+}
+
+} // namespace
+
+VamSimdLevel
+Vam::detectSimdLevel()
+{
+    // SSE2 is part of the x86-64 baseline, so only AVX2 needs a
+    // runtime probe. Computed fresh per call (no cached mutable
+    // state); construction-time cost is negligible.
+    if (__builtin_cpu_supports("avx2"))
+        return VamSimdLevel::Avx2;
+    return VamSimdLevel::Sse2;
+}
+
+std::uint64_t
+Vam::candidateMaskSse2(const std::uint8_t *line, Addr trigger_ea) const
+{
+    alignas(32) std::uint8_t buf[lineBytes + 16] = {};
+    std::memcpy(buf, line, lineBytes);
+
+    const std::uint32_t ea_top =
+        static_cast<std::uint32_t>(trigger_ea) >> compareShift;
+    const __m128i alignMaskV =
+        _mm_set1_epi32(static_cast<int>(alignMask));
+    const __m128i eaTopV = _mm_set1_epi32(static_cast<int>(ea_top));
+    const __m128i topMaxV =
+        _mm_set1_epi32(static_cast<int>(compareMax));
+    const __m128i filterMaskV =
+        _mm_set1_epi32(static_cast<int>(filterMask));
+    const __m128i zeroV = _mm_setzero_si128();
+    const __m128i cShift =
+        _mm_cvtsi32_si128(static_cast<int>(compareShift));
+    const __m128i fShift =
+        _mm_cvtsi32_si128(static_cast<int>(filterShift));
+
+    std::uint64_t mask = 0;
+    for (unsigned r = 0; r < wordBytes; ++r) {
+        for (unsigned k = 0; k < 4; ++k) {
+            const __m128i v = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(buf + r + 16 * k));
+            const __m128i aligned =
+                _mm_cmpeq_epi32(_mm_and_si128(v, alignMaskV), zeroV);
+            const __m128i top = _mm_srl_epi32(v, cShift);
+            const __m128i topEq = _mm_cmpeq_epi32(top, eaTopV);
+            const __m128i filt =
+                _mm_and_si128(_mm_srl_epi32(v, fShift), filterMaskV);
+            const __m128i zeroRegion =
+                _mm_and_si128(_mm_cmpeq_epi32(top, zeroV),
+                              _mm_cmpeq_epi32(filt, zeroV));
+            const __m128i oneRegion =
+                _mm_and_si128(_mm_cmpeq_epi32(top, topMaxV),
+                              _mm_cmpeq_epi32(filt, filterMaskV));
+            const __m128i cand = _mm_andnot_si128(
+                _mm_or_si128(zeroRegion, oneRegion),
+                _mm_and_si128(aligned, topEq));
+            const unsigned m = static_cast<unsigned>(
+                _mm_movemask_ps(_mm_castsi128_ps(cand)));
+            mask |= spread4(m) << (r + 16 * k);
+        }
+    }
+    return mask;
+}
+
+__attribute__((target("avx2"))) std::uint64_t
+Vam::candidateMaskAvx2(const std::uint8_t *line, Addr trigger_ea) const
+{
+    alignas(32) std::uint8_t buf[lineBytes + 16] = {};
+    std::memcpy(buf, line, lineBytes);
+
+    const std::uint32_t ea_top =
+        static_cast<std::uint32_t>(trigger_ea) >> compareShift;
+    const __m256i alignMaskV =
+        _mm256_set1_epi32(static_cast<int>(alignMask));
+    const __m256i eaTopV =
+        _mm256_set1_epi32(static_cast<int>(ea_top));
+    const __m256i topMaxV =
+        _mm256_set1_epi32(static_cast<int>(compareMax));
+    const __m256i filterMaskV =
+        _mm256_set1_epi32(static_cast<int>(filterMask));
+    const __m256i zeroV = _mm256_setzero_si256();
+    const __m128i cShift =
+        _mm_cvtsi32_si128(static_cast<int>(compareShift));
+    const __m128i fShift =
+        _mm_cvtsi32_si128(static_cast<int>(filterShift));
+
+    std::uint64_t mask = 0;
+    for (unsigned r = 0; r < wordBytes; ++r) {
+        for (unsigned k = 0; k < 2; ++k) {
+            const __m256i v = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(buf + r + 32 * k));
+            const __m256i aligned = _mm256_cmpeq_epi32(
+                _mm256_and_si256(v, alignMaskV), zeroV);
+            const __m256i top = _mm256_srl_epi32(v, cShift);
+            const __m256i topEq = _mm256_cmpeq_epi32(top, eaTopV);
+            const __m256i filt = _mm256_and_si256(
+                _mm256_srl_epi32(v, fShift), filterMaskV);
+            const __m256i zeroRegion =
+                _mm256_and_si256(_mm256_cmpeq_epi32(top, zeroV),
+                                 _mm256_cmpeq_epi32(filt, zeroV));
+            const __m256i oneRegion =
+                _mm256_and_si256(_mm256_cmpeq_epi32(top, topMaxV),
+                                 _mm256_cmpeq_epi32(filt, filterMaskV));
+            const __m256i cand = _mm256_andnot_si256(
+                _mm256_or_si256(zeroRegion, oneRegion),
+                _mm256_and_si256(aligned, topEq));
+            const unsigned m = static_cast<unsigned>(
+                _mm256_movemask_ps(_mm256_castsi256_ps(cand)));
+            mask |= spread8(m) << (r + 32 * k);
+        }
+    }
+    return mask;
+}
+
+#else // !CDP_SIMD_ENABLED
+
+VamSimdLevel
+Vam::detectSimdLevel()
+{
+    return VamSimdLevel::Scalar;
+}
+
+std::uint64_t
+Vam::candidateMaskSse2(const std::uint8_t *, Addr) const
+{
+    throw std::logic_error("Vam: SSE2 kernel not compiled in");
+}
+
+std::uint64_t
+Vam::candidateMaskAvx2(const std::uint8_t *, Addr) const
+{
+    throw std::logic_error("Vam: AVX2 kernel not compiled in");
+}
+
+#endif // CDP_SIMD_ENABLED
+
+} // namespace cdp

@@ -93,20 +93,22 @@ OooCore::OooCore(const CoreConfig &cfg, UopSource &source, CoreMemIf &mem,
                        name + ".fetch_stall_cycles",
                        "cycles fetch was squashed by a mispredict")
 {
+    robBuf.resize(cfg.robEntries);
 }
 
 void
 OooCore::retireStage()
 {
-    for (unsigned i = 0; i < cfg.retireWidth && !rob.empty(); ++i) {
-        const RobEntry &head = rob.front();
+    for (unsigned i = 0; i < cfg.retireWidth && robCount != 0; ++i) {
+        const RobEntry &head = robBuf[robHead];
         if (head.complete > cycle)
             break;
         if (head.isLoad)
             --loadsInRob;
         if (head.isStore)
             --storesInRob;
-        rob.pop_front();
+        robHead = robHead + 1 == robBuf.size() ? 0 : robHead + 1;
+        --robCount;
         ++uopsRetired;
     }
 }
@@ -120,7 +122,7 @@ OooCore::issueStage()
     }
 
     for (unsigned i = 0; i < cfg.issueWidth; ++i) {
-        if (rob.size() >= cfg.robEntries) {
+        if (robCount >= cfg.robEntries) {
             if (i == 0)
                 ++robFullCycles;
             break;
@@ -155,10 +157,12 @@ OooCore::issueStage()
           case UopType::Load:
             complete = mem.load(u.pc, u.vaddr, ready, u.pointerLoad);
             ++issuedLoads;
+            memWake = mem.nextEventCycle(); // load may have (re)scheduled fills
             break;
           case UopType::Store:
             complete = mem.store(u.pc, u.vaddr, ready);
             ++issuedStores;
+            memWake = mem.nextEventCycle(); // store may have (re)scheduled fills
             break;
           case UopType::Branch:
             complete = ready + cfg.aluLatency;
@@ -170,8 +174,12 @@ OooCore::issueStage()
         if (u.dst != noReg)
             regReady[u.dst] = complete;
 
-        rob.push_back({complete, u.type == UopType::Load,
-                       u.type == UopType::Store});
+        std::size_t tail = robHead + robCount;
+        if (tail >= robBuf.size())
+            tail -= robBuf.size();
+        robBuf[tail] = {complete, u.type == UopType::Load,
+                        u.type == UopType::Store};
+        ++robCount;
         if (u.type == UopType::Load)
             ++loadsInRob;
         if (u.type == UopType::Store)
@@ -188,22 +196,30 @@ OooCore::issueStage()
 void
 OooCore::step()
 {
-    mem.advance(cycle);
+    // Only call into the memory system when its wake hint says the
+    // call could matter. The hint is conservative (0 = legacy
+    // every-cycle contract, e.g. for mocks that keep the CoreMemIf
+    // default), and every load/store refreshes it, so skipped calls
+    // are exactly the ones advance() guarantees are pure no-ops.
+    if (memWake <= cycle) {
+        mem.advance(cycle);
+        memWake = mem.nextEventCycle();
+    }
 
     const std::uint64_t retired_before = uopsRetired.value();
-    const std::size_t rob_before = rob.size();
+    const std::size_t rob_before = robCount;
     retireStage();
     issueStage();
     const bool progressed = uopsRetired.value() != retired_before ||
-                            rob.size() != rob_before;
+                            robCount != rob_before;
 
     Cycle next = cycle + 1;
     if (!progressed) {
         // Fully stalled: skip ahead to the next event that can
         // unblock us — the ROB head completing or fetch resuming.
         Cycle wake = std::numeric_limits<Cycle>::max();
-        if (!rob.empty())
-            wake = std::min(wake, rob.front().complete);
+        if (robCount != 0)
+            wake = std::min(wake, robBuf[robHead].complete);
         if (cycle < fetchStalledUntil)
             wake = std::min(wake, fetchStalledUntil);
         if (wake != std::numeric_limits<Cycle>::max())
@@ -230,8 +246,12 @@ OooCore::saveState(snap::Writer &w) const
     w.u64(fetchStalledUntil);
     w.boolean(havePending);
     snap::saveUop(w, pending);
-    w.u64(rob.size());
-    for (const RobEntry &e : rob) {
+    w.u64(robCount);
+    for (std::size_t i = 0; i < robCount; ++i) {
+        std::size_t idx = robHead + i;
+        if (idx >= robBuf.size())
+            idx -= robBuf.size();
+        const RobEntry &e = robBuf[idx];
         w.u64(e.complete);
         w.boolean(e.isLoad);
         w.boolean(e.isStore);
@@ -247,6 +267,7 @@ OooCore::loadState(snap::Reader &r)
     cycle = r.u64();
     cycleBase = r.u64();
     fetchStalledUntil = r.u64();
+    memWake = 0; // re-query the wake hint on the first step
     havePending = r.boolean();
     pending = snap::loadUop(r);
 
@@ -254,7 +275,8 @@ OooCore::loadState(snap::Reader &r)
     if (occupancy > cfg.robEntries)
         r.fail("ROB occupancy " + std::to_string(occupancy) +
                " exceeds capacity " + std::to_string(cfg.robEntries));
-    rob.clear();
+    robCount = occupancy;
+    robHead = 0;
     loadsInRob = 0;
     storesInRob = 0;
     for (std::uint64_t i = 0; i < occupancy; ++i) {
@@ -264,7 +286,7 @@ OooCore::loadState(snap::Reader &r)
         e.isStore = r.boolean();
         loadsInRob += e.isLoad ? 1 : 0;
         storesInRob += e.isStore ? 1 : 0;
-        rob.push_back(e);
+        robBuf[i] = e;
     }
     for (Cycle &ready : regReady)
         ready = r.u64();

@@ -20,8 +20,8 @@
 #define CDP_CPU_OOO_CORE_HH
 
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "common/types.hh"
 #include "cpu/gshare.hh"
@@ -64,6 +64,21 @@ class CoreMemIf
 
     /** Advance memory-system background work (fills, arbiters). */
     virtual void advance(Cycle now) = 0;
+
+    /** nextEventCycle() value meaning "nothing pending at all". */
+    static constexpr Cycle noPendingEvent = ~Cycle{0};
+
+    /**
+     * Earliest future cycle at which advance() could make progress.
+     * Purely an optimization hint for the caller: skipping advance()
+     * calls strictly before this cycle must not change any
+     * architectural state, statistic, or RNG stream. The default (0)
+     * preserves the legacy call-every-cycle contract; noPendingEvent
+     * means no background work can exist until the next load/store.
+     * The hint is invalidated by any load()/store()/advance() call,
+     * after which the caller must re-query.
+     */
+    virtual Cycle nextEventCycle() const { return 0; }
 };
 
 /** Core sizing knobs (defaults = Table 1). */
@@ -151,9 +166,22 @@ class OooCore
     Cycle cycle = 0;
     Cycle cycleBase = 0;
     Cycle fetchStalledUntil = 0;
+    // cdplint: transient(memWake) -- cached mem.nextEventCycle() hint; reset to 0 (re-query) on restore, so it never carries state
+    /** Cached wake hint: skip mem.advance() while cycle < memWake. */
+    Cycle memWake = 0;
     Uop pending{};
     bool havePending = false;
-    std::deque<RobEntry> rob;
+    /**
+     * The ROB as a fixed-capacity ring (capacity = cfg.robEntries,
+     * sized at construction): one push and one pop per retired uop
+     * made deque segment management a measurable cost. robHead is
+     * the oldest entry; robCount the occupancy. saveState writes the
+     * logical FIFO (robCount entries in age order); loadState
+     * rebuilds it compacted from slot zero.
+     */
+    std::vector<RobEntry> robBuf;
+    std::size_t robHead = 0;
+    std::size_t robCount = 0;
     // cdplint: transient(loadsInRob, storesInRob) -- recomputed from the restored ROB contents in loadState
     unsigned loadsInRob = 0;
     unsigned storesInRob = 0;

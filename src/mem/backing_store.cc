@@ -12,19 +12,31 @@ namespace cdp
 BackingStore::Frame &
 BackingStore::frameFor(Addr pa)
 {
-    auto &slot = frames[pageNumber(pa)];
+    const Addr page = pageNumber(pa);
+    if (page == lastPage)
+        return *lastFrame;
+    auto &slot = frames[page];
     if (!slot) {
         slot = std::make_unique<Frame>();
         slot->fill(0);
     }
+    lastPage = page;
+    lastFrame = slot.get();
     return *slot;
 }
 
 const BackingStore::Frame *
 BackingStore::frameForRead(Addr pa) const
 {
-    auto it = frames.find(pageNumber(pa));
-    return it == frames.end() ? nullptr : it->second.get();
+    const Addr page = pageNumber(pa);
+    if (page == lastPage)
+        return lastFrame;
+    auto it = frames.find(page);
+    if (it == frames.end())
+        return nullptr;
+    lastPage = page;
+    lastFrame = it->second.get();
+    return it->second.get();
 }
 
 std::uint8_t
@@ -111,6 +123,8 @@ BackingStore::loadState(snap::Reader &r)
 {
     const std::uint64_t n = r.u64();
     frames.clear();
+    lastPage = ~Addr{0};
+    lastFrame = nullptr;
     frames.reserve(n);
     Addr prev = 0;
     for (std::uint64_t i = 0; i < n; ++i) {

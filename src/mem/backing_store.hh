@@ -64,6 +64,32 @@ class BackingStore
     /** Number of frames that have been materialized. */
     std::size_t framesTouched() const { return frames.size(); }
 
+    /**
+     * Host pointer to the base of the frame holding @p pa,
+     * materializing it zero-filled. Frames are never deallocated
+     * except by loadState(), so the pointer stays valid until then —
+     * callers memoizing it must reset on restore.
+     */
+    std::uint8_t *pageData(Addr pa) { return frameFor(pa).data(); }
+
+    /**
+     * Host pointer to the frame holding @p pa, or nullptr if it was
+     * never materialized (reads of such pages see zero bytes). Same
+     * lifetime guarantee as pageData().
+     */
+    std::uint8_t *pageDataIfPresent(Addr pa)
+    {
+        const Addr page = pageNumber(pa);
+        if (page == lastPage)
+            return lastFrame->data();
+        auto it = frames.find(page);
+        if (it == frames.end())
+            return nullptr;
+        lastPage = page;
+        lastFrame = it->second.get();
+        return lastFrame->data();
+    }
+
     /** Serialize every materialized frame in page-number order. */
     void saveState(snap::Writer &w) const;
 
@@ -80,6 +106,16 @@ class BackingStore
     const Frame *frameForRead(Addr pa) const;
 
     std::unordered_map<Addr, std::unique_ptr<Frame>> frames;
+
+    // cdplint: transient(lastPage, lastFrame) -- pure lookup memo over the frame map; frame storage is stable (unique_ptr) and loadState resets it
+    /**
+     * One-entry frame-lookup memo (reads and writes). Only
+     * *materialized* frames are cached, so a hit is always valid:
+     * frames are never deallocated except by loadState(), which
+     * resets the memo.
+     */
+    mutable Addr lastPage = ~Addr{0};
+    mutable Frame *lastFrame = nullptr;
 };
 
 } // namespace cdp

@@ -29,6 +29,7 @@ QueuedArbiter::dropLowestPrefetch()
     for (unsigned p = numPriorities; p-- > 1;) {
         auto &q = queues[p];
         if (!q.empty()) {
+            noteRemoved(q.back().lineVa);
             q.pop_back();
             --total;
             ++displaced;
@@ -48,6 +49,7 @@ QueuedArbiter::enqueue(const MemRequest &req)
     if (total >= capacity) {
         if (prio == 0 && dropLowestPrefetch()) {
             queues[prio].push_back(req);
+            noteResident(req.lineVa);
             ++total;
             ++accepted;
             ++enqueuedCount;
@@ -59,6 +61,7 @@ QueuedArbiter::enqueue(const MemRequest &req)
         return EnqueueResult::Rejected;
     }
     queues[prio].push_back(req);
+    noteResident(req.lineVa);
     ++total;
     ++accepted;
     ++enqueuedCount;
@@ -69,6 +72,7 @@ void
 QueuedArbiter::requeueFront(const MemRequest &req)
 {
     queues[req.priority()].push_front(req);
+    noteResident(req.lineVa);
     ++total;
     // The request re-enters the resident population, reversing its
     // earlier dequeue in the conservation ledger.
@@ -86,6 +90,7 @@ QueuedArbiter::dequeue()
         if (!q.empty()) {
             MemRequest r = q.front();
             q.pop_front();
+            noteRemoved(r.lineVa);
             --total;
             ++issuedCount;
             ++issued;
@@ -100,14 +105,7 @@ QueuedArbiter::dequeue()
 bool
 QueuedArbiter::contains(Addr line_va) const
 {
-    const Addr la = lineAlign(line_va);
-    for (const auto &q : queues) {
-        for (const auto &r : q) {
-            if (r.lineVa == la)
-                return true;
-        }
-    }
-    return false;
+    return residentLines.count(lineAlign(line_va)) != 0;
 }
 
 std::optional<MemRequest>
@@ -120,6 +118,7 @@ QueuedArbiter::extractPrefetch(Addr line_va)
             if (it->lineVa == la) {
                 MemRequest r = *it;
                 q.erase(it);
+                noteRemoved(la);
                 --total;
                 ++extractedCount;
                 CDP_CHECK(isPrefetch(r.type));

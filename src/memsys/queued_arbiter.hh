@@ -22,6 +22,7 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 #include "common/types.hh"
 #include "memsys/request.hh"
@@ -60,6 +61,20 @@ class QueuedArbiter
 
     /** Highest-priority request, FIFO within class; nullopt if empty. */
     std::optional<MemRequest> dequeue();
+
+    /**
+     * The request dequeue() would return next, without removing it;
+     * nullptr when empty. Lets the drain scheduler compute the
+     * earliest cycle the head could issue.
+     */
+    const MemRequest *peek() const
+    {
+        for (const auto &q : queues) {
+            if (!q.empty())
+                return &q.front();
+        }
+        return nullptr;
+    }
 
     /**
      * Put a request back at the *front* of its priority class (used
@@ -106,10 +121,26 @@ class QueuedArbiter
     /** Drop the lowest-priority resident prefetch; false if none. */
     bool dropLowestPrefetch();
 
+    void noteResident(Addr line_va) { ++residentLines[line_va]; }
+    void noteRemoved(Addr line_va)
+    {
+        const auto it = residentLines.find(line_va);
+        if (--it->second == 0)
+            residentLines.erase(it);
+    }
+
     // cdplint: transient(capacity) -- construction-time geometry; checkpoints are taken at quiesce points
     unsigned capacity;
     // cdplint: transient(queues) -- saveState throws unless the arbiter is empty, so there is never queue content to serialize
     std::deque<MemRequest> queues[numPriorities];
+    /**
+     * Membership index over the queues (line VA -> resident count),
+     * so contains() — called once per would-be prefetch — is O(1)
+     * instead of a scan of every class. Pure acceleration: only
+     * membership is ever queried, never iteration order.
+     */
+    // cdplint: transient(residentLines) -- derived index over queues; empty whenever the (quiesced) arbiter is checkpointable
+    std::unordered_map<Addr, unsigned> residentLines;
     std::size_t total = 0;
 
     /**

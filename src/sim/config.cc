@@ -99,6 +99,13 @@ SimConfig::applyOverride(const std::string &key, const std::string &value)
         adaptive.adjustWidth = toBool(value);
     // Pollution limit study.
     else if (key == "pollution.enabled") pollution.enabled = toBool(value);
+    // Simulation scheduler (host-side; stats are mode-independent).
+    else if (key == "sched.mode") {
+        if (value != "wheel" && value != "legacy")
+            throw std::invalid_argument(
+                "sched.mode must be 'wheel' or 'legacy'");
+        sched.mode = value;
+    }
     // Lifecycle-event tracer (src/obs).
     else if (key == "trace.enabled") trace.enabled = toBool(value);
     else if (key == "trace.buffer") trace.bufferEvents = toU64(value);

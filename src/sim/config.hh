@@ -88,6 +88,26 @@ struct PollutionConfig
     std::uint64_t seed = 7777;
 };
 
+/**
+ * Simulation-scheduler selection — a host-side execution knob, never
+ * part of the modeled machine (and therefore deliberately outside the
+ * checkpoint's guarded configuration, like trace.*).
+ */
+struct SchedConfig
+{
+    /**
+     * "wheel"  — event-wheel mode: MemorySystem::advance() returns
+     *            through a fast path on provably idle calls and the
+     *            core skips calls the wheel proves idle entirely.
+     *            Stats stay byte-identical to legacy mode; the
+     *            differential test net in tests/test_event_wheel.cc
+     *            pins this (DESIGN.md §12).
+     * "legacy" — the original tick-every-cycle contract: advance()
+     *            runs its full body on every call.
+     */
+    std::string mode = "wheel";
+};
+
 /** Everything that defines one simulation run. */
 struct SimConfig
 {
@@ -98,6 +118,7 @@ struct SimConfig
     CdpConfig cdp{};
     AdaptiveVamConfig adaptive{};
     PollutionConfig pollution{};
+    SchedConfig sched{};
     /**
      * Lifecycle-event tracer (src/obs). A pure observer: enabling it
      * never changes timing, counters, or stats dumps. No-op unless

@@ -1,0 +1,140 @@
+#include "sim/event_wheel.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdp
+{
+
+EventWheel::EventWheel() : slots(slotCount)
+{
+}
+
+void
+EventWheel::place(Event e)
+{
+    if (inWindow(e.when)) {
+        const std::size_t s = static_cast<std::size_t>(e.when & slotMask);
+        slots[s].push_back(e);
+        occupied[s >> 6] |= std::uint64_t{1} << (s & 63);
+    } else {
+        overflow[e.when].push_back(e);
+    }
+}
+
+void
+EventWheel::schedule(Cycle when, Addr payload)
+{
+    if (when < base)
+        throw std::logic_error(
+            "EventWheel: scheduling into the past (when < base)");
+    Event e;
+    e.when = when;
+    e.seq = nextSeq++;
+    e.payload = payload;
+    if (count == 0 || when < minDue)
+        minDue = when;
+    place(e);
+    ++count;
+}
+
+void
+EventWheel::recomputeMin()
+{
+    // The slot ring holds at most one cycle value per slot, so the
+    // earliest in-window deadline is the minimum over occupied slots
+    // — ring order does not matter for a minimum.
+    Cycle best = ~Cycle{0};
+    bool found = false;
+    for (std::size_t w = 0; w < bitmapWords; ++w) {
+        std::uint64_t bits = occupied[w];
+        while (bits) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const Cycle c = slots[(w << 6) | b].front().when;
+            if (!found || c < best) {
+                best = c;
+                found = true;
+            }
+        }
+    }
+    if (!overflow.empty() &&
+        (!found || overflow.begin()->first < best)) {
+        best = overflow.begin()->first;
+        found = true;
+    }
+    minDue = best;
+    // Turn the wheel: every pending event is >= the new minimum, so
+    // it is a valid base, and advancing it may bring overflow events
+    // inside the horizon.
+    base = best;
+    while (!overflow.empty() && inWindow(overflow.begin()->first)) {
+        auto node = overflow.extract(overflow.begin());
+        for (Event &e : node.mapped())
+            place(e);
+    }
+}
+
+std::optional<EventWheel::Event>
+EventWheel::popDue(Cycle now)
+{
+    if (count == 0 || minDue > now)
+        return std::nullopt;
+
+    Event e;
+    const std::size_t s = static_cast<std::size_t>(minDue & slotMask);
+    std::vector<Event> &slot = slots[s];
+    if (!slot.empty() && slot.front().when == minDue) {
+        e = slot.front();
+        slot.erase(slot.begin());
+        if (slot.empty())
+            occupied[s >> 6] &= ~(std::uint64_t{1} << (s & 63));
+    } else {
+        // The minimum still sits in overflow: possible only when the
+        // whole ring window between base and minDue is empty.
+        auto it = overflow.begin();
+        std::vector<Event> &q = it->second;
+        e = q.front();
+        q.erase(q.begin());
+        if (q.empty())
+            overflow.erase(it);
+    }
+    --count;
+
+    if (count == 0)
+        base = std::max(base, e.when);
+    else if ((slots[s].empty() || slots[s].front().when != minDue) &&
+             (overflow.empty() || overflow.begin()->first != minDue))
+        recomputeMin();
+    return e;
+}
+
+std::vector<EventWheel::Event>
+EventWheel::sorted() const
+{
+    std::vector<Event> out;
+    out.reserve(count);
+    for (std::size_t w = 0; w < bitmapWords; ++w) {
+        std::uint64_t bits = occupied[w];
+        while (bits) {
+            const unsigned b =
+                static_cast<unsigned>(__builtin_ctzll(bits));
+            bits &= bits - 1;
+            const std::vector<Event> &slot = slots[(w << 6) | b];
+            out.insert(out.end(), slot.begin(), slot.end());
+        }
+    }
+    for (const auto &[when, q] : overflow) {
+        (void)when;
+        out.insert(out.end(), q.begin(), q.end());
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Event &a, const Event &b) {
+                  return a.when != b.when ? a.when < b.when
+                                          : a.seq < b.seq;
+              });
+    return out;
+}
+
+} // namespace cdp

@@ -51,6 +51,7 @@ MemorySystem::MemorySystem(const SimConfig &cfg, BackingStore &store,
                      "chain depth of issued content prefetches", 0, 16,
                      16)
 {
+    skipIdle = cfg.sched.mode == "wheel";
     cdpDepthHighWater = std::max(cfg.cdp.depthThreshold, 1u);
     StatGroup &sg = stats ? *stats : dummyStatGroup;
     // StatGroup keeps raw pointers into provFormulas; reserve the
@@ -99,19 +100,42 @@ MemorySystem::MemorySystem(const SimConfig &cfg, BackingStore &store,
         [this] { return static_cast<double>(ctr.rescans); });
 }
 
+Cycle
+MemorySystem::nextEventCycle() const
+{
+    // Anything per-call (rescan-debt repayment, the pollution RNG
+    // draw, an adaptive epoch) forces the legacy every-cycle
+    // contract; so does sched.mode = "legacy" itself. Otherwise the
+    // next event is the earlier of a fill completing and the arbiter
+    // head winning the bus.
+    if (!skipIdle || cfg.pollution.enabled || rescanDebt != 0 ||
+        adaptive.epochElapsed())
+        return 0;
+    return nextProgressCycle();
+}
+
 void
 MemorySystem::advance(Cycle now)
 {
+    // Idle fast path (sched.mode = "wheel"): when the call is
+    // provably a pure no-op, skip the whole body — including the
+    // drain-pool bookkeeping, whose deferred accumulation is exact
+    // (see idleAt). The skip happens before checkTick so audit
+    // pacing tracks full advances, which are the only calls that can
+    // corrupt state.
+    if (skipIdle && idleAt(now)) {
+        ++skippedAdvances;
+        return;
+    }
+    ++fullAdvances;
+
     // Iterate to a fixpoint: completed fills can enqueue chained
     // prefetches, and drained prefetches can complete within the same
     // window, whose fills must be scanned in turn.
     for (;;) {
         bool progressed = false;
-        while (!pendingFills.empty() &&
-               pendingFills.top().completion <= now) {
-            const PendingFill f = pendingFills.top();
-            pendingFills.pop();
-            completeFill(f.linePa, f.completion);
+        while (auto f = pendingFills.popDue(now)) {
+            completeFill(f->payload, f->when);
             progressed = true;
         }
         const std::size_t queued = l2Arbiter.size();
@@ -169,12 +193,9 @@ MemorySystem::checkInvariants() const
     // Request-lifecycle pairing: every in-flight entry has exactly
     // one scheduled completion event and vice versa, so no fill can
     // be lost or delivered twice.
-    auto fills = pendingFills;
     std::unordered_set<Addr> scheduled;
-    while (!fills.empty()) {
-        scheduled.insert(fills.top().linePa);
-        fills.pop();
-    }
+    for (const EventWheel::Event &e : pendingFills.sorted())
+        scheduled.insert(e.payload);
     CDP_CHECK_MSG(scheduled.size() == mshrs.size(),
                   check::dumpMshr(mshrs, "mshr"));
     for (const auto &[pa, entry] : check::sortedMshrEntries(mshrs)) {
@@ -191,7 +212,7 @@ MemorySystem::drainAll(Cycle now)
     while (!pendingFills.empty() || !l2Arbiter.empty()) {
         Cycle horizon = now;
         if (!pendingFills.empty())
-            horizon = std::max(horizon, pendingFills.top().completion);
+            horizon = std::max(horizon, pendingFills.nextDue());
         advance(horizon + cfg.mem.drainBudgetCap);
         now = horizon + cfg.mem.drainBudgetCap;
     }
@@ -275,7 +296,7 @@ MemorySystem::timedWalk(Addr va, Cycle now, bool speculative)
         fill.root = fill.id; // walk fills are their own root
         fill.completion = comp;
         if (mshrs.allocate(fill)) {
-            pendingFills.push({comp, lpa});
+            pendingFills.schedule(comp, lpa);
             if (trc.active())
                 trc.record(obs::EventKind::Issue, now + lat, lpa,
                            fill.id, fill.root, ReqType::PageWalk, 0, 0);
@@ -409,7 +430,7 @@ MemorySystem::issuePrefetch(MemRequest req, Cycle now)
         return false;
     }
     ++prefetchInFlight;
-    pendingFills.push({e.completion, line_pa});
+    pendingFills.schedule(e.completion, line_pa);
     if (trc.active())
         trc.record(obs::EventKind::Issue, now, line_pa, req.id,
                    req.root, req.type, req.depth, req.hop);
@@ -584,7 +605,7 @@ MemorySystem::maybeInjectPollution(Cycle now)
     e.completion = bus.service(now);
     if (mshrs.allocate(e)) {
         ++prefetchInFlight;
-        pendingFills.push({e.completion, line_pa});
+        pendingFills.schedule(e.completion, line_pa);
         ++ctr.pollutionInjected;
         if (trc.active())
             trc.record(obs::EventKind::Issue, now, line_pa, e.id,
@@ -733,7 +754,7 @@ MemorySystem::load(Addr pc, Addr vaddr, Cycle now, bool /*pointer_load*/)
     e.root = demandId;
     e.completion = comp;
     if (mshrs.allocate(e)) {
-        pendingFills.push({comp, line_pa});
+        pendingFills.schedule(comp, line_pa);
         if (trc.active())
             trc.record(obs::EventKind::Issue, t0, line_pa, demandId,
                        demandId, ReqType::DemandLoad, 0, 0);
@@ -806,7 +827,7 @@ MemorySystem::store(Addr pc, Addr vaddr, Cycle now)
     e.root = demandId;
     e.completion = comp;
     if (mshrs.allocate(e)) {
-        pendingFills.push({comp, line_pa});
+        pendingFills.schedule(comp, line_pa);
         if (trc.active())
             trc.record(obs::EventKind::Issue, t0, line_pa, demandId,
                        demandId, ReqType::DemandStore, 0, 0);

@@ -24,8 +24,8 @@
 #ifndef CDP_SIM_MEMORY_SYSTEM_HH
 #define CDP_SIM_MEMORY_SYSTEM_HH
 
+#include <algorithm>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/rng.hh"
@@ -43,6 +43,7 @@
 #include "prefetch/nextline_prefetcher.hh"
 #include "prefetch/stride_prefetcher.hh"
 #include "sim/config.hh"
+#include "sim/event_wheel.hh"
 #include "stats/stat.hh"
 #include "vm/page_table.hh"
 #include "vm/page_walker.hh"
@@ -78,6 +79,7 @@ class MemorySystem : public CoreMemIf
     Cycle load(Addr pc, Addr vaddr, Cycle now, bool pointer_load) override;
     Cycle store(Addr pc, Addr vaddr, Cycle now) override;
     void advance(Cycle now) override;
+    Cycle nextEventCycle() const override;
 
     /** Drain every in-flight transaction (end-of-run settling). */
     void drainAll(Cycle now);
@@ -194,16 +196,52 @@ class MemorySystem : public CoreMemIf
      */
     void loadState(snap::Reader &r);
 
+    /**
+     * advance() calls that ran the full fixpoint body (vs returning
+     * through the idle fast path). Diagnostic only: never serialized
+     * and never a stat, so wheel and legacy stats dumps stay
+     * byte-identical (tests assert the wheel actually skips).
+     */
+    std::uint64_t fullAdvanceCount() const { return fullAdvances; }
+    /** advance() calls that returned through the idle fast path. */
+    std::uint64_t skippedAdvanceCount() const { return skippedAdvances; }
+
   private:
-    struct PendingFill
+    /**
+     * Earliest future cycle at which advance() could do real work, or
+     * CoreMemIf::noPendingEvent when nothing is in flight at all: the
+     * minimum of the next fill completion and the first cycle the
+     * arbiter head could win the bus (max of its enqueue time and the
+     * bus going idle). Only meaningful when the per-call activities
+     * (pollution RNG draw, rescan-debt repayment, adaptive epoch) are
+     * quiescent — callers must check those separately. While the head
+     * is bus-blocked, a legacy advance() merely accrues drain-pool
+     * slots, and that accrual composes associatively under its cap,
+     * so deferring it to the next full advance() is exact (DESIGN.md
+     * §12).
+     */
+    Cycle nextProgressCycle() const
     {
-        Cycle completion;
-        Addr linePa;
-        bool operator>(const PendingFill &o) const
-        {
-            return completion > o.completion;
-        }
-    };
+        Cycle next = ~Cycle{0};
+        if (!pendingFills.empty())
+            next = pendingFills.nextDue();
+        if (const MemRequest *head = l2Arbiter.peek())
+            next = std::min(next,
+                            std::max(head->enqueued, bus.freeCycle()));
+        return next;
+    }
+
+    /**
+     * True when advance(@p now) is provably a pure no-op: no fill is
+     * due, the arbiter head (if any) cannot win the bus yet, no
+     * rescan slot is owed, pollution injection (which draws the RNG
+     * once per call) is off, and no adaptive epoch is pending.
+     */
+    bool idleAt(Cycle now) const
+    {
+        return !cfg.pollution.enabled && rescanDebt == 0 &&
+               !adaptive.epochElapsed() && nextProgressCycle() > now;
+    }
 
     /**
      * Charge a timed page walk at @p now.
@@ -272,9 +310,13 @@ class MemorySystem : public CoreMemIf
     QueuedArbiter l2Arbiter;
     MshrFile mshrs;
 
-    std::priority_queue<PendingFill, std::vector<PendingFill>,
-                        std::greater<>> pendingFills;
+    EventWheel pendingFills;
     unsigned prefetchInFlight = 0;
+    // cdplint: transient(skipIdle, fullAdvances, skippedAdvances) -- scheduler-mode policy knob and diagnostic call counters; never architectural state
+    /** sched.mode == "wheel": advance() may fast-path idle calls. */
+    bool skipIdle = true;
+    std::uint64_t fullAdvances = 0;
+    std::uint64_t skippedAdvances = 0;
     Cycle lastDrain = 0;
     Cycle drainPool = 0; //!< banked L2-arbiter slots (1/cycle)
     unsigned rescanDebt = 0; //!< rescans consume L2 drain slots

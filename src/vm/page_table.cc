@@ -29,11 +29,14 @@ PageTable::map(Addr va, Addr pa)
     if (!(old_pte & entryValid))
         ++_mappedPages;
     store.write32(pte_addr, pageAlign(pa) | entryValid);
+    lastVPage = ~Addr{0}; // the memo may now be stale
 }
 
 std::optional<Addr>
 PageTable::translate(Addr va) const
 {
+    if (pageAlign(va) == lastVPage)
+        return lastFrameBase | pageOffset(va);
     const std::uint32_t pde = store.read32(rootPa + dirIndex(va) * 4);
     if (!(pde & entryValid))
         return std::nullopt;
@@ -41,7 +44,9 @@ PageTable::translate(Addr va) const
         store.read32(pageAlign(pde) + tblIndex(va) * 4);
     if (!(pte & entryValid))
         return std::nullopt;
-    return pageAlign(pte) | pageOffset(va);
+    lastVPage = pageAlign(va);
+    lastFrameBase = pageAlign(pte);
+    return lastFrameBase | pageOffset(va);
 }
 
 WalkPath
@@ -75,6 +80,7 @@ PageTable::loadState(snap::Reader &r)
     // differently from the checkpoint writer.
     r.expectU64(rootPa, "page-table root frame");
     _mappedPages = r.u64();
+    lastVPage = ~Addr{0}; // backing-store content was just replaced
 }
 
 } // namespace cdp

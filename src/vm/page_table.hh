@@ -99,6 +99,17 @@ class PageTable
     FrameAllocator &frameAlloc;
     Addr rootPa;
     std::uint64_t _mappedPages = 0;
+
+    // cdplint: transient(lastVPage, lastFrameBase) -- pure translation memo over the (invalidated-on-map) radix tree; rebuilt on demand, never architectural state
+    /**
+     * One-entry translate() memo: the functional (untimed) translate
+     * path is hammered by the workload generators, which walk their
+     * data structures through simulated memory. Holds only *positive*
+     * results; map() and loadState() invalidate it. Timed translation
+     * (TLB + walker) never goes through this.
+     */
+    mutable Addr lastVPage = ~Addr{0};
+    mutable Addr lastFrameBase = 0;
 };
 
 } // namespace cdp

@@ -14,9 +14,11 @@ namespace cdp
 void
 BlockUopSource::saveQueue(snap::Writer &w) const
 {
-    w.u64(queue.size());
-    for (const Uop &u : queue)
-        snap::saveUop(w, u);
+    // Only the unconsumed tail is live state; the byte format (count
+    // + uops in hand-out order) is unchanged from the deque days.
+    w.u64(queue.size() - queueHead);
+    for (std::size_t i = queueHead; i < queue.size(); ++i)
+        snap::saveUop(w, queue[i]);
 }
 
 void
@@ -24,6 +26,7 @@ BlockUopSource::loadQueue(snap::Reader &r)
 {
     const std::uint64_t n = r.u64();
     queue.clear();
+    queueHead = 0;
     for (std::uint64_t i = 0; i < n; ++i)
         queue.push_back(snap::loadUop(r));
 }

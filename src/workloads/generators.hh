@@ -18,7 +18,6 @@
 #define CDP_WORKLOADS_GENERATORS_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -41,11 +40,16 @@ class BlockUopSource : public UopSource
     Uop
     next() override
     {
-        while (queue.empty())
+        // A block is always fully consumed before the next one is
+        // staged, so the queue is a flat vector with a read cursor
+        // (its capacity survives the clear): one uop hand-off is an
+        // indexed read, the hottest edge in the whole simulator.
+        while (queueHead == queue.size()) {
+            queue.clear();
+            queueHead = 0;
             emitBlock();
-        Uop u = queue.front();
-        queue.pop_front();
-        return u;
+        }
+        return queue[queueHead++];
     }
 
   protected:
@@ -115,7 +119,8 @@ class BlockUopSource : public UopSource
         queue.push_back(u);
     }
 
-    std::deque<Uop> queue;
+    std::vector<Uop> queue;
+    std::size_t queueHead = 0;
 };
 
 /** Options common to the structure-walking generators. */

@@ -1,5 +1,6 @@
 #include "workloads/heap_allocator.hh"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "snapshot/ckpt_io.hh"
@@ -64,8 +65,22 @@ HeapAllocator::translateOrThrow(Addr va) const
 std::uint32_t
 HeapAllocator::read32(Addr va) const
 {
-    if (pageOffset(va) <= pageBytes - 4)
-        return store.read32(translateOrThrow(va));
+    if (pageOffset(va) <= pageBytes - 4) {
+        if (pageAlign(va) == lastVaPage) {
+            std::uint32_t v;
+            std::memcpy(&v, lastHost + pageOffset(va), 4);
+            return v;
+        }
+        const Addr pa = translateOrThrow(va);
+        if (std::uint8_t *host = store.pageDataIfPresent(pa)) {
+            lastVaPage = pageAlign(va);
+            lastHost = host;
+            std::uint32_t v;
+            std::memcpy(&v, host + pageOffset(pa), 4);
+            return v;
+        }
+        return 0; // never-written frame reads as zero; do not memoize
+    }
     std::uint32_t v = 0;
     for (unsigned i = 0; i < 4; ++i) {
         v |= static_cast<std::uint32_t>(
@@ -79,7 +94,14 @@ void
 HeapAllocator::write32(Addr va, std::uint32_t v)
 {
     if (pageOffset(va) <= pageBytes - 4) {
-        store.write32(translateOrThrow(va), v);
+        if (pageAlign(va) == lastVaPage) {
+            std::memcpy(lastHost + pageOffset(va), &v, 4);
+            return;
+        }
+        const Addr pa = translateOrThrow(va);
+        lastVaPage = pageAlign(va);
+        lastHost = store.pageData(pa);
+        std::memcpy(lastHost + pageOffset(pa), &v, 4);
         return;
     }
     for (unsigned i = 0; i < 4; ++i) {
@@ -118,6 +140,8 @@ HeapAllocator::loadState(snap::Reader &r)
     if (top < base || mappedTo < base)
         r.fail("heap bump pointer below the heap base");
     r.rng(rng);
+    lastVaPage = ~Addr{0};
+    lastHost = nullptr;
 }
 
 } // namespace cdp

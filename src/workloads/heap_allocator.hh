@@ -93,6 +93,18 @@ class HeapAllocator
   private:
     Addr translateOrThrow(Addr va) const;
 
+    // cdplint: transient(lastVaPage, lastHost) -- one-entry VA-page -> host-frame memo; mappings are never unmapped and frames never move, so only loadState() resets it
+    /**
+     * Translation memo: the last heap page touched by an in-page
+     * read32/write32, as a direct host pointer into the backing
+     * store's frame. Collapses translate + frame lookup for the
+     * pointer-chasing workloads that hammer one page at a time.
+     * Valid because the page table has no unmap and frames are
+     * stable until loadState(), which resets the memo.
+     */
+    mutable Addr lastVaPage = ~Addr{0};
+    mutable std::uint8_t *lastHost = nullptr;
+
     // cdplint: transient(store, table, frames) -- wiring references rebuilt by the restoring harness, not state
     BackingStore &store;
     PageTable &table;

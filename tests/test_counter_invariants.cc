@@ -1,0 +1,87 @@
+/** @file
+ * Prefetch-counter accounting invariants, and a pin on the one place
+ * they legitimately look violated.
+ *
+ * The headline table shows rows (b2c, rc3, proE) where cdp_useful
+ * exceeds cdp_issued — 656 useful from 136 issued on b2c. That is not
+ * double counting: measure() resets the counters after warm-up, but
+ * lines the warm-up phase prefetched (and never touched) stay
+ * resident in the UL2 with their ContentPrefetch provenance tag. The
+ * first demand touch inside the measurement window then increments
+ * cdpUseful against an issue that was counted before the reset. The
+ * pollution injector does the same thing deliberately: it plants
+ * ContentPrefetch-typed lines without ever counting an issue.
+ *
+ * So the invariant that actually holds, and that this file enforces,
+ * is scoped to a window that starts from power-on:
+ *
+ *     warmupUops == 0  =>  cdpUseful <= cdpIssued + pollutionInjected
+ *
+ * (see DESIGN.md §12, "Counter semantics across the measure reset").
+ */
+
+#include <gtest/gtest.h>
+
+#include "fuzz_config.hh"
+#include "sim/memory_system.hh"
+#include "sim/simulator.hh"
+
+using namespace cdp;
+using cdp::testcfg::randomConfig;
+
+class CounterInvariantFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+/** From power-on, every useful CDP line was issued (or injected). */
+TEST_P(CounterInvariantFuzz, UsefulBoundedByIssuedPlusInjected)
+{
+    SimConfig c = randomConfig(GetParam());
+    c.warmupUops = 0; // the invariant is only sound from power-on
+    SCOPED_TRACE("workload=" + c.workload + " seed=" +
+                 std::to_string(GetParam()));
+
+    Simulator sim(c);
+    const RunResult r = sim.run();
+    EXPECT_LE(r.mem.cdpUseful,
+              r.mem.cdpIssued + r.mem.pollutionInjected);
+    // Stride-side twin: no injector feeds the stride class, so its
+    // bound has no correction term.
+    EXPECT_LE(r.mem.strideUseful, r.mem.strideIssued);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CounterInvariantFuzz,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+/**
+ * Pin the measure-window artifact on the configuration that surfaced
+ * it: headline b2c (default warm-up and measurement sizes). If this
+ * expectation ever starts failing because useful <= issued, the
+ * warm-up residue the docs describe has disappeared — update
+ * DESIGN.md §12 along with whatever changed the accounting.
+ */
+TEST(CounterInvariantHeadline, B2cWarmupResidueExceedsMeasuredIssues)
+{
+    SimConfig c;
+    c.workload = "b2c";
+
+    Simulator sim(c);
+    sim.warmup(c.warmupUops);
+    sim.quiesce();
+    const RunResult r = sim.measure(c.measureUops);
+
+    // The artifact itself: more useful lines than measured issues.
+    EXPECT_GT(r.mem.cdpUseful, r.mem.cdpIssued);
+
+    // Same workload from power-on: the invariant is restored, which
+    // is what pins the cause to the counter reset (not the issue or
+    // touch accounting).
+    SimConfig cz = c;
+    cz.warmupUops = 0;
+    cz.measureUops = c.warmupUops + c.measureUops;
+    Simulator zim(cz);
+    const RunResult rz = zim.run();
+    EXPECT_LE(rz.mem.cdpUseful,
+              rz.mem.cdpIssued + rz.mem.pollutionInjected);
+}

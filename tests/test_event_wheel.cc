@@ -1,0 +1,261 @@
+/** @file
+ * Event-wheel scheduler tests: unit coverage of EventWheel's
+ * determinism contract, plus the differential-equivalence net between
+ * the wheel (idle-skipping) and legacy (tick-every-cycle) simulation
+ * modes. The two modes must produce byte-identical statistics on any
+ * valid configuration — that is the entire correctness argument for
+ * skipping cycles (DESIGN.md §12).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "fuzz_config.hh"
+#include "sim/event_wheel.hh"
+#include "sim/memory_system.hh"
+#include "sim/simulator.hh"
+
+using namespace cdp;
+using cdp::testcfg::randomConfig;
+
+namespace
+{
+
+std::string
+dumpStats(Simulator &sim)
+{
+    std::ostringstream os;
+    sim.stats().dump(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(EventWheel, PopsInCycleOrder)
+{
+    EventWheel w;
+    w.schedule(30, 0xc0);
+    w.schedule(10, 0xa0);
+    w.schedule(20, 0xb0);
+    ASSERT_EQ(w.size(), 3u);
+    ASSERT_EQ(w.nextDue(), 10u);
+
+    auto e = w.popDue(100);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->when, 10u);
+    EXPECT_EQ(e->payload, 0xa0u);
+    e = w.popDue(100);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->when, 20u);
+    e = w.popDue(100);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->when, 30u);
+    EXPECT_TRUE(w.empty());
+    EXPECT_FALSE(w.popDue(100));
+}
+
+TEST(EventWheel, FifoAmongSameCycleEvents)
+{
+    EventWheel w;
+    for (Addr p : {0x1u, 0x2u, 0x3u, 0x4u})
+        w.schedule(7, p);
+    for (Addr expect : {0x1u, 0x2u, 0x3u, 0x4u}) {
+        auto e = w.popDue(7);
+        ASSERT_TRUE(e);
+        EXPECT_EQ(e->payload, expect);
+    }
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(EventWheel, PopDueGatesOnNow)
+{
+    EventWheel w;
+    w.schedule(50, 0xaa);
+    EXPECT_FALSE(w.popDue(49));
+    EXPECT_EQ(w.size(), 1u);
+    auto e = w.popDue(50);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->payload, 0xaau);
+}
+
+TEST(EventWheel, OverflowEventsMigrateIntoTheRing)
+{
+    // Schedule far beyond the 1024-slot horizon, then drain a near
+    // event so the wheel's base turns past the old window; the
+    // overflow events must surface in order.
+    EventWheel w;
+    w.schedule(5, 0x1);
+    w.schedule(5'000, 0x2);
+    w.schedule(200'000, 0x3);
+    w.schedule(5'000, 0x4); // same far cycle: FIFO with 0x2
+
+    auto e = w.popDue(5);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->payload, 0x1u);
+    EXPECT_EQ(w.nextDue(), 5'000u);
+
+    e = w.popDue(1'000'000);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->when, 5'000u);
+    EXPECT_EQ(e->payload, 0x2u);
+    e = w.popDue(1'000'000);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->when, 5'000u);
+    EXPECT_EQ(e->payload, 0x4u);
+    e = w.popDue(1'000'000);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->when, 200'000u);
+    EXPECT_EQ(e->payload, 0x3u);
+    EXPECT_TRUE(w.empty());
+}
+
+TEST(EventWheel, SortedReturnsPendingInWhenSeqOrder)
+{
+    EventWheel w;
+    w.schedule(40, 0xd);
+    w.schedule(12, 0xa);
+    w.schedule(40, 0xe);
+    w.schedule(2'000, 0xf); // overflow region
+
+    const auto pending = w.sorted();
+    ASSERT_EQ(pending.size(), 4u);
+    EXPECT_EQ(pending[0].payload, 0xau);
+    EXPECT_EQ(pending[1].payload, 0xdu);
+    EXPECT_EQ(pending[2].payload, 0xeu);
+    EXPECT_LT(pending[1].seq, pending[2].seq);
+    EXPECT_EQ(pending[3].payload, 0xfu);
+}
+
+TEST(EventWheel, SchedulingBehindTheBaseThrows)
+{
+    EventWheel w;
+    w.schedule(100, 0x1);
+    // Draining the cycle-100 event turns the wheel: 100 becomes the
+    // base, and anything behind it would mean time ran backwards.
+    auto e = w.popDue(100);
+    ASSERT_TRUE(e);
+    EXPECT_THROW(w.schedule(99, 0x3), std::logic_error);
+
+    // At or above base is legal even when it undercuts the current
+    // minimum — the new event simply becomes the next to pop.
+    w.schedule(200, 0x2);
+    w.schedule(150, 0x4);
+    w.schedule(200, 0x5); // FIFO tie with 0x2
+    e = w.popDue(1'000);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->payload, 0x4u);
+    e = w.popDue(1'000);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->payload, 0x2u);
+    e = w.popDue(1'000);
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->payload, 0x5u);
+}
+
+/**
+ * The differential net: for every fuzzed configuration, a full
+ * warm-up + measurement under the wheel scheduler must be
+ * byte-identical — the complete stats dump, including the per-depth
+ * provenance histograms — to the same run under the legacy
+ * tick-every-cycle loop.
+ */
+class WheelVsLegacy : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(WheelVsLegacy, StatsDumpsAreByteIdentical)
+{
+    SimConfig c = randomConfig(GetParam());
+    SCOPED_TRACE("workload=" + c.workload + " seed=" +
+                 std::to_string(GetParam()));
+
+    c.sched.mode = "wheel";
+    Simulator wheel(c);
+    const RunResult rw = wheel.run();
+
+    c.sched.mode = "legacy";
+    Simulator legacy(c);
+    const RunResult rl = legacy.run();
+
+    EXPECT_EQ(rw.cycles, rl.cycles);
+    EXPECT_EQ(rw.uops, rl.uops);
+    EXPECT_EQ(dumpStats(wheel), dumpStats(legacy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelVsLegacy,
+                         ::testing::Range<std::uint64_t>(1, 52));
+
+/**
+ * Directed idle-skip stress: a workload dominated by non-memory uops
+ * leaves the memory system idle for long stretches, which is exactly
+ * where the wheel must (a) skip work and (b) change nothing. The
+ * legacy loop calls advance() every core cycle; the wheel must do
+ * strictly less while producing an identical dump.
+ */
+TEST(WheelIdleSkip, SkipsAdvanceCallsWithoutChangingStats)
+{
+    SimConfig c;
+    c.workload = "speech"; // lowest-MPTU workload in the suite
+    c.warmupUops = 5'000;
+    c.measureUops = 50'000;
+
+    c.sched.mode = "wheel";
+    Simulator wheel(c);
+    const RunResult rw = wheel.run();
+
+    c.sched.mode = "legacy";
+    Simulator legacy(c);
+    const RunResult rl = legacy.run();
+
+    EXPECT_EQ(rw.cycles, rl.cycles);
+    EXPECT_EQ(dumpStats(wheel), dumpStats(legacy));
+
+    // The whole point: the wheel does strictly fewer full advances.
+    EXPECT_LT(wheel.memory().fullAdvanceCount(),
+              legacy.memory().fullAdvanceCount());
+    // And the legacy loop never takes the skip path.
+    EXPECT_EQ(legacy.memory().skippedAdvanceCount(), 0u);
+}
+
+/**
+ * Cross-mode checkpoint equivalence: a checkpoint written by a
+ * wheel-mode machine restores into a legacy-mode machine (and vice
+ * versa) and both measure byte-identically afterwards. The scheduler
+ * mode is a host-side policy, not architectural state, so it lives
+ * outside the checkpoint's config-compatibility guard.
+ */
+class WheelCheckpointCross
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(WheelCheckpointCross, RestoreAcrossSchedulerModes)
+{
+    SimConfig c = randomConfig(GetParam());
+    SCOPED_TRACE("workload=" + c.workload + " seed=" +
+                 std::to_string(GetParam()));
+
+    c.sched.mode = "wheel";
+    Simulator wheel(c);
+    wheel.warmup(c.warmupUops);
+    wheel.quiesce();
+    std::stringstream bytes;
+    wheel.saveCheckpoint(bytes);
+
+    SimConfig cl = c;
+    cl.sched.mode = "legacy";
+    Simulator legacy(cl);
+    legacy.restoreCheckpoint(bytes);
+
+    const RunResult rw = wheel.measure(c.measureUops);
+    const RunResult rl = legacy.measure(c.measureUops);
+    EXPECT_EQ(rw.cycles, rl.cycles);
+    EXPECT_EQ(rw.uops, rl.uops);
+    EXPECT_EQ(dumpStats(wheel), dumpStats(legacy));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelCheckpointCross,
+                         ::testing::Range<std::uint64_t>(1, 9));

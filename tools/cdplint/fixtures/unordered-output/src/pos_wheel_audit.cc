@@ -1,0 +1,28 @@
+// Fixture: an event-wheel audit dump draining the pending-event
+// table in hash order. Scheduler dumps feed golden comparisons, so
+// emitting events in container order would make two semantically
+// identical wheels print different audits.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+struct WheelEvent
+{
+    std::uint64_t when;
+    std::uint64_t seq;
+    std::uint32_t payload;
+};
+
+std::string
+auditPending(
+    const std::unordered_map<std::uint32_t, WheelEvent> &pending)
+{
+    std::ostringstream os;
+    for (const auto &kv : pending) { // FINDING unordered-output
+        os << kv.second.when << ":" << kv.second.seq << " "
+           << kv.second.payload << "\n";
+    }
+    return os.str();
+}
